@@ -1,0 +1,68 @@
+"""Shared measurement helpers for the experiment benchmarks."""
+
+from __future__ import annotations
+
+from repro.adversary.controller import Adversary
+from repro.config import SystemConfig
+from repro.core.api import (
+    flip_common_coin,
+    run_byzantine_agreement,
+    run_mwsvss,
+    run_svss,
+)
+
+
+def measure_agreement_rounds(
+    n: int,
+    coin,
+    seeds: range,
+    split: bool = True,
+    max_rounds: int = 500,
+    scheduler_factory=None,
+):
+    """Round counts for repeated agreement runs; returns (rounds, stuck)."""
+    rounds = []
+    stuck = 0
+    for seed in seeds:
+        cfg = SystemConfig(n=n, seed=seed)
+        inputs = [(i % 2 if split else 1) for i in range(n)]
+        coin_spec = coin(cfg) if callable(coin) else coin
+        scheduler = scheduler_factory(cfg) if scheduler_factory else None
+        result = run_byzantine_agreement(
+            inputs,
+            cfg,
+            coin=coin_spec,
+            max_rounds=max_rounds,
+            scheduler=scheduler,
+        )
+        if result.terminated and result.agreed:
+            rounds.append(result.max_rounds)
+        else:
+            stuck += 1
+    return rounds, stuck
+
+
+def measure_coin(n: int, seeds, adversary_factory=None):
+    """Flip the full SVSS coin repeatedly; returns per-run outputs list."""
+    runs = []
+    for seed in seeds:
+        cfg = SystemConfig(n=n, seed=seed)
+        adversary = adversary_factory(cfg, seed) if adversary_factory else None
+        result, stack = flip_common_coin(cfg, adversary=adversary)
+        runs.append((result, stack))
+    return runs
+
+
+def mw_message_cost(n: int, seed: int = 0) -> tuple[int, int]:
+    """(messages, bytes) of one fault-free MW-SVSS share+reconstruct."""
+    cfg = SystemConfig(n=n, seed=seed)
+    from repro.core.api import build_stack  # local import to keep API slim
+
+    result, stack = run_mwsvss(cfg, dealer=1, moderator=2, secret=7)
+    return result.trace.total_messages, result.trace.total_bytes
+
+
+def svss_message_cost(n: int, seed: int = 0) -> int:
+    cfg = SystemConfig(n=n, seed=seed)
+    result, _ = run_svss(cfg, dealer=1, secret=7)
+    return result.trace.total_messages

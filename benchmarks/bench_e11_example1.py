@@ -1,0 +1,39 @@
+"""E11 / Figure 5 — the paper's Example 1 (§3.3), regenerated.
+
+Two nonfaulty processes complete one MW-SVSS invocation with different
+non-⊥ values (weak binding genuinely violated), and the crafted lie lands
+the faulty dealer in a nonfaulty D set — the shun that pays for the break.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.mwsvss import BOTTOM
+from repro.scenarios import FAKE_SECRET, TRUE_SECRET, run_example1
+
+
+def test_e11_example1(benchmark, emit):
+    outcome = benchmark.pedantic(run_example1, args=(0,), rounds=1, iterations=1)
+    rows = [
+        ["share completed at", sorted(outcome.share_completed)],
+        ["moderator (1) output", outcome.outputs.get(1)],
+        ["process 3 output", outcome.outputs.get(3)],
+        ["true secret", TRUE_SECRET],
+        ["crafted fake secret", FAKE_SECRET],
+        ["nonfaulty disagreement", outcome.disagreement],
+        ["dealer shunned", outcome.dealer_shunned],
+        ["shun pairs", sorted(outcome.stack.trace.shun_pairs())],
+    ]
+    emit(
+        render_table(
+            "E11 (Figure 5): paper Example 1 — weak binding break + shun",
+            ["quantity", "value"],
+            rows,
+            note="expected shape: outputs 42 vs 77 (both non-bottom), "
+            "dealer 2 convicted at a nonfaulty process",
+        )
+    )
+    assert outcome.outputs[1] == TRUE_SECRET
+    assert outcome.outputs[3] == FAKE_SECRET
+    assert outcome.outputs[1] is not BOTTOM and outcome.outputs[3] is not BOTTOM
+    assert outcome.dealer_shunned

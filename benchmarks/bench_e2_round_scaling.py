@@ -1,0 +1,146 @@
+"""E2 / Figure 1 — expected rounds vs n: common coin stays flat, local
+coins blow up (paper §1, §5).
+
+Three measurements:
+
+1. **End-to-end, common coin**: expected rounds flat in n (the ADH08
+   shape; the coin itself is validated in E3).
+2. **The blow-up mechanism**: with private coins, a round can only
+   deterministically unify the estimates when every honest process' local
+   coin lands the same way — probability ``2^(1-h)`` for ``h`` honest
+   processes.  We measure that alignment probability per n; its reciprocal
+   is the Ben-Or/Bracha expected-round blow-up the paper cites
+   ("expected number of rounds is exponential in n").
+3. **End-to-end adversarial check**: under the vote-balancing schedule
+   with rebalancing liars, the common-coin protocol always finishes within
+   a few rounds.  (The local-coin baselines stay *live* here too — their
+   almost-sure termination is real; the exponential expectation is a
+   worst-case-adversary statement, and the full-information adaptive
+   adversary that forces it is out of scope.  The alignment series above
+   measures exactly the per-round event that adversary denies.)
+"""
+
+from __future__ import annotations
+
+import random
+
+from bench_common import measure_agreement_rounds
+from repro.adversary.behaviors import ABALiarBehavior
+from repro.adversary.controller import Adversary
+from repro.adversary.schedulers import VoteBalancingScheduler
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.config import SystemConfig, max_faults
+from repro.core.api import run_byzantine_agreement
+
+SEEDS = range(12)
+COMMON_NS = (4, 7, 10, 13, 16)
+ALIGN_NS = (4, 7, 10, 13, 16, 19)
+ALIGN_TRIALS = 4000
+CONTRAST_N = 5
+CONTRAST_CAP = 1500
+
+
+def _common_series():
+    series = []
+    for n in COMMON_NS:
+        rounds, stuck = measure_agreement_rounds(n, ("ideal", 1.0), SEEDS)
+        assert stuck == 0
+        series.append((n, summarize([float(r) for r in rounds]).mean))
+    return series
+
+
+def _alignment_series():
+    """P[h honest local coins all agree], measured by sampling."""
+    series = []
+    rng = random.Random(2024)
+    for n in ALIGN_NS:
+        h = n - max_faults(n)
+        aligned = 0
+        for _ in range(ALIGN_TRIALS):
+            first = rng.randrange(2)
+            if all(rng.randrange(2) == first for _ in range(h - 1)):
+                aligned += 1
+        series.append((n, h, aligned / ALIGN_TRIALS))
+    return series
+
+
+def _adversarial_contrast():
+    outcomes = {}
+    for coin_name, coin in (("local", "local"), ("common", ("ideal", 1.0))):
+        stuck = 0
+        done_rounds = []
+        for seed in range(4):
+            cfg = SystemConfig(n=CONTRAST_N, seed=seed)
+            t = cfg.t
+            liars = {
+                pid: ABALiarBehavior(random.Random(seed * 100 + pid))
+                for pid in range(CONTRAST_N, CONTRAST_N - t, -1)
+            }
+            result = run_byzantine_agreement(
+                [i % 2 for i in range(CONTRAST_N)],
+                cfg,
+                coin=coin,
+                adversary=Adversary(liars),
+                scheduler=VoteBalancingScheduler(cfg),
+                max_rounds=CONTRAST_CAP,
+            )
+            if result.terminated and result.agreed:
+                done_rounds.append(result.max_rounds)
+            else:
+                stuck += 1
+        outcomes[coin_name] = (stuck, done_rounds)
+    return outcomes
+
+
+def test_e2_round_scaling(benchmark, emit):
+    def experiment():
+        return _common_series(), _alignment_series(), _adversarial_contrast()
+
+    common, alignment, contrast = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [["common coin, end-to-end", n, f"{mean:.2f} rounds", "-"] for n, mean in common]
+    for n, h, p in alignment:
+        expected = 2.0 ** (1 - h)
+        rows.append(
+            [
+                "local-coin alignment probability",
+                n,
+                f"{p:.4f} (analytic {expected:.4f})",
+                f"=> ~{1 / max(p, 1e-9):.0f} expected rounds to align",
+            ]
+        )
+    for name, (stuck, done) in contrast.items():
+        rows.append(
+            [
+                f"adversarial check ({name} coin, n={CONTRAST_N})",
+                CONTRAST_N,
+                f"stuck {stuck}/4 at cap {CONTRAST_CAP}",
+                f"done rounds: {done or '-'}",
+            ]
+        )
+    emit(
+        render_table(
+            "E2 (Figure 1): round complexity — flat common coin vs "
+            "exponential local coins",
+            ["series", "n", "measurement", "implication"],
+            rows,
+            note="paper shape: common-coin rounds flat; local-coin progress "
+            "gated on an exponentially unlikely alignment event (the "
+            "quantity a worst-case adversary forces every round); the "
+            "common coin finishes in a handful of rounds even under the "
+            "balancing adversary",
+        )
+    )
+
+    common_means = [m for _, m in common]
+    assert max(common_means) - min(common_means) < 2.0
+    probs = [p for _, _, p in alignment]
+    # strict decay where the sampling resolution supports it, monotone
+    # (non-strict) in the deep tail where both estimates are ~0
+    assert probs[0] > probs[1] > probs[2]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+    assert probs[-1] < 0.01
+    common_stuck, common_done = contrast["common"]
+    assert common_stuck == 0
+    assert all(r <= 10 for r in common_done)

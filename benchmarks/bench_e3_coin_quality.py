@@ -1,0 +1,83 @@
+"""E3 / Figure 2 — SCC correctness (paper §5, Definition 2, Lemma 4).
+
+Runs the full SVSS shunning common coin and measures, over many seeded
+invocations:
+
+* termination (every honest process outputs a bit);
+* unanimity in fault-free runs;
+* per-value frequency — Definition 2 promises each value with probability
+  at least 1/4, so over k runs each value should appear roughly in
+  [k/4 - noise, 3k/4 + noise].
+
+Byzantine variant: a biased dealer (all-zero secrets) must not break
+unanimity or pin the coin.
+"""
+
+from __future__ import annotations
+
+from bench_common import measure_coin
+from repro.adversary.behaviors import BiasedCoinBehavior
+from repro.adversary.controller import Adversary
+from repro.analysis.stats import proportion_ci95
+from repro.analysis.tables import render_table
+
+FAULT_FREE_SEEDS = range(100, 112)
+BYZANTINE_SEEDS = range(300, 306)
+
+
+def test_e3_coin_quality(benchmark, emit):
+    def experiment():
+        clean = measure_coin(4, FAULT_FREE_SEEDS)
+        biased = measure_coin(
+            4,
+            BYZANTINE_SEEDS,
+            adversary_factory=lambda cfg, seed: Adversary({3: BiasedCoinBehavior()}),
+        )
+        return clean, biased
+
+    clean, biased = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    unanimous = sum(
+        1 for result, _ in clean if len(set(result.outputs.values())) == 1
+    )
+    zeros = sum(
+        1 for result, _ in clean if set(result.outputs.values()) == {0}
+    )
+    ones = sum(1 for result, _ in clean if set(result.outputs.values()) == {1})
+    k = len(clean)
+    low0, high0 = proportion_ci95(zeros, k)
+    low1, high1 = proportion_ci95(ones, k)
+
+    b_unanimous = sum(
+        1
+        for result, _ in biased
+        if len({result.outputs[p] for p in (1, 2, 4)}) == 1
+    )
+    b_ones = sum(
+        1 for result, _ in biased if 1 in {result.outputs[p] for p in (1, 2, 4)}
+    )
+
+    emit(
+        render_table(
+            "E3 (Figure 2): shunning common coin quality (n=4, full stack)",
+            ["metric", "fault-free", "biased dealer (all-zero secrets)"],
+            [
+                ["runs", k, len(biased)],
+                ["terminated", k, len(biased)],
+                ["unanimous", f"{unanimous}/{k}", f"{b_unanimous}/{len(biased)}"],
+                ["all-output-0 frequency", f"{zeros}/{k} (CI {low0:.2f}-{high0:.2f})", "-"],
+                ["all-output-1 frequency", f"{ones}/{k} (CI {low1:.2f}-{high1:.2f})", "-"],
+                ["output 1 despite bias", "-", f"{b_ones}/{len(biased)}"],
+            ],
+            note="Definition 2 promises a WEAK common coin: P[all output b] "
+            ">= 1/4 for each b; the remaining probability mass may disagree "
+            "(eval sets differ across processes), which the unanimity row "
+            "shows. The ABA only consumes the two >= 1/4 events.",
+        )
+    )
+    # Definition 2's actual guarantees: termination always; each all-b
+    # event with constant frequency (>= 1/4 in theory; with 12 runs we
+    # check both events occur and jointly dominate).
+    assert zeros >= 1 and ones >= 1, "both all-b events must occur"
+    assert unanimous >= k // 2, "unanimity should dominate fault-free runs"
+    assert b_ones >= 1, "biased dealer must not pin the coin to 0"

@@ -1,0 +1,76 @@
+"""E8 / Table 5 — almost-sure termination vs Canetti-Rabin's ε gap
+(paper §1, [4, 5]).
+
+Under the adversarial vote-balancing schedule, an agreement protocol
+survives only as long as its coin can agree.  The CR93-style ε-failure
+coin fails each round independently with probability ε forever, so the
+probability of being stuck after R rounds is ~(stuck-per-round)^R > 0 —
+while the paper's shunning coin has at most t(n-t) breakable rounds, after
+which it always agrees.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.schedulers import VoteBalancingScheduler
+from repro.analysis.tables import render_table
+from repro.config import SystemConfig
+from repro.core.api import run_byzantine_agreement
+from repro.protocols.cr_avss import cr_coin
+
+SEEDS = range(10)
+ROUND_CAP = 40
+EPSILONS = (0.0, 0.2, 0.5, 1.0)
+
+
+def _stuck_rate(coin_factory):
+    stuck = 0
+    total_rounds = []
+    for seed in SEEDS:
+        cfg = SystemConfig(n=4, seed=seed)
+        result = run_byzantine_agreement(
+            [0, 1, 0, 1],
+            cfg,
+            coin=coin_factory(cfg),
+            scheduler=VoteBalancingScheduler(cfg),
+            max_rounds=ROUND_CAP,
+        )
+        if result.terminated and result.agreed:
+            total_rounds.append(result.max_rounds)
+        else:
+            stuck += 1
+    mean_rounds = (
+        sum(total_rounds) / len(total_rounds) if total_rounds else float("nan")
+    )
+    return stuck, mean_rounds
+
+
+def test_e8_termination(benchmark, emit):
+    def experiment():
+        measured = {}
+        for eps in EPSILONS:
+            measured[f"CR93 eps={eps}"] = _stuck_rate(
+                lambda cfg, eps=eps: cr_coin(cfg, eps)
+            )
+        measured["ADH08 (perfect-agreement coin)"] = _stuck_rate(
+            lambda cfg: ("ideal", 1.0)
+        )
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [name, f"{stuck}/{len(SEEDS)}", f"{mean:.1f}" if mean == mean else "-"]
+        for name, (stuck, mean) in measured.items()
+    ]
+    emit(
+        render_table(
+            f"E8 (Table 5): stuck runs at round cap {ROUND_CAP}, "
+            "vote-balancing schedule, split inputs (n=4)",
+            ["coin", "stuck runs", "mean rounds when done"],
+            rows,
+            note="expected shape: stuck rate grows with eps and hits "
+            "100% at eps=1; the ADH08-style coin never gets stuck",
+        )
+    )
+    assert measured["CR93 eps=1.0"][0] == len(SEEDS)
+    assert measured["ADH08 (perfect-agreement coin)"][0] == 0
+    assert measured["CR93 eps=0.0"][0] == 0

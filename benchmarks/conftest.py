@@ -1,0 +1,31 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark prints its experiment table live (past pytest's capture)
+and appends it to ``benchmarks/results/`` so EXPERIMENTS.md can cite a
+stable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys, request):
+    """Print experiment output live and persist it per-test."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / f"{request.node.name}.txt"
+    collected: list[str] = []
+
+    def _emit(text: str) -> None:
+        collected.append(text)
+        with capsys.disabled():
+            print(text)
+
+    yield _emit
+    if collected:
+        out_path.write_text("\n".join(collected) + "\n")

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's full protocol once and inspect the result.
+
+Four processes (the minimal optimally-resilient system, n = 3t + 1 with
+t = 1) run asynchronous Byzantine agreement over the complete stack:
+Bracha-skeleton voting, SVSS-based shunning common coin, MW-SVSS, DMM,
+reliable broadcast, and a randomly-delaying network.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, run_byzantine_agreement
+
+
+def main() -> None:
+    config = SystemConfig(n=4, seed=42)
+    inputs = [0, 1, 1, 0]  # one binary input per process
+
+    print(f"running ABA: n={config.n}, t={config.t}, inputs={inputs}")
+    print("coin: full SVSS shunning common coin (the paper's protocol)")
+    result = run_byzantine_agreement(inputs, config, coin="svss")
+
+    print()
+    print(f"terminated : {result.terminated}")
+    print(f"agreed     : {result.agreed}")
+    print(f"decision   : {result.decision}")
+    print(f"rounds     : {result.rounds}")
+    print(f"messages   : {result.trace.total_messages:,}")
+    print(f"sim time   : {result.sim_time:.1f} (simulated network delays)")
+    print(f"shun pairs : {sorted(result.shun_pairs) or 'none (fault-free run)'}")
+
+    assert result.agreed, "Theorem 1 says this cannot happen"
+    print()
+    print("every nonfaulty process decided the same value - Theorem 1 holds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A distributed randomness beacon built on the shunning common coin.
+
+The paper's SCC is exactly the primitive behind modern "drand"-style
+randomness beacons: n mutually distrusting parties jointly produce a
+stream of bits that (a) every honest party agrees on with constant
+probability per flip and (b) no coalition of up to t parties can predict
+or fix.  This example runs a beacon for several epochs on the full SVSS
+stack, with one party trying to bias every flip toward 0 by dealing
+all-zero secrets — and failing.
+
+Run:  python examples/randomness_beacon.py
+"""
+
+from repro import SystemConfig
+from repro.adversary.behaviors import BiasedCoinBehavior
+from repro.adversary.controller import Adversary
+from repro.core.api import build_stack, _make_coins
+
+EPOCHS = 4
+
+
+def main() -> None:
+    config = SystemConfig(n=4, seed=7)
+    adversary = Adversary({3: BiasedCoinBehavior()})  # tries to force 0s
+    stack = build_stack(config, adversary=adversary)
+    coins = _make_coins(stack, "svss")
+
+    print(f"beacon: n={config.n}, t={config.t}, epochs={EPOCHS}")
+    print("party 3 deals all-zero secrets, trying to pin the beacon to 0")
+    print()
+
+    outputs_per_epoch = []
+    for epoch in range(EPOCHS):
+        csid = ("beacon", epoch)
+        outputs: dict[int, int] = {}
+        for pid in config.pids:
+            coins[pid].join(csid)
+            coins[pid].get(csid, lambda v, pid=pid: outputs.setdefault(pid, v))
+            coins[pid].release(csid)
+        honest = [p for p in config.pids if p != 3]
+        stack.runtime.run_until(
+            lambda: all(p in outputs for p in honest), max_events=30_000_000
+        )
+        values = {outputs[p] for p in honest}
+        tag = "unanimous" if len(values) == 1 else f"split {values}"
+        print(f"epoch {epoch}: honest outputs {outputs}  [{tag}]")
+        outputs_per_epoch.append(values)
+
+    bits = [next(iter(v)) for v in outputs_per_epoch if len(v) == 1]
+    print()
+    print(f"beacon stream (unanimous epochs): {bits}")
+    print(f"messages simulated: {stack.trace.total_messages:,}")
+    if 1 in bits:
+        print("the biasing party failed to pin the beacon to 0, as the")
+        print("hiding property guarantees: honest secrets stay uniform.")
+
+
+if __name__ == "__main__":
+    main()

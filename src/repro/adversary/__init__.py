@@ -1,0 +1,45 @@
+"""Byzantine adversary library: behaviours + corruption controller."""
+
+from repro.adversary.behaviors import (
+    ABALiarBehavior,
+    BiasedCoinBehavior,
+    ByzantineBehavior,
+    CrashBehavior,
+    EquivocatingDealerBehavior,
+    LyingConfirmerBehavior,
+    LyingReconstructorBehavior,
+    MutatingBehavior,
+    SilentBehavior,
+)
+from repro.adversary.schedulers import VoteBalancingScheduler
+from repro.adversary.controller import (
+    BEHAVIOR_KINDS,
+    Adversary,
+    crash_adversary,
+    equivocating_adversary,
+    mutating_adversary,
+    no_adversary,
+    random_adversary,
+    silent_adversary,
+)
+
+__all__ = [
+    "ABALiarBehavior",
+    "Adversary",
+    "BEHAVIOR_KINDS",
+    "BiasedCoinBehavior",
+    "ByzantineBehavior",
+    "CrashBehavior",
+    "EquivocatingDealerBehavior",
+    "LyingConfirmerBehavior",
+    "LyingReconstructorBehavior",
+    "MutatingBehavior",
+    "SilentBehavior",
+    "VoteBalancingScheduler",
+    "crash_adversary",
+    "equivocating_adversary",
+    "mutating_adversary",
+    "no_adversary",
+    "random_adversary",
+    "silent_adversary",
+]

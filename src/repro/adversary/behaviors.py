@@ -1,0 +1,236 @@
+"""Byzantine behaviour library.
+
+Two complementary attack surfaces:
+
+* **Outbound filters** — rewrite/drop/duplicate any outgoing message,
+  including broadcast-internal traffic.  This is the generic chaos monkey
+  used by the property-based tests (a real byzantine process can send
+  anything to anyone).
+* **Deviation hooks** — named methods the protocol modules query at every
+  point where the protocol lets a corrupt process choose what to do
+  (dealing inconsistent polynomials, lying during reconstruction,
+  broadcasting bogus sets, biasing coin secrets, ...).  These drive the
+  targeted property experiments, e.g. the paper's Example 1.
+
+A behaviour object may use either or both surfaces.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.sim.process import ProcessHost
+
+
+class ByzantineBehavior:
+    """Base behaviour: corrupt but protocol-following ("honest-but-marked").
+
+    Useful on its own to measure how the stack performs when the corrupt
+    set misbehaves only through the scheduler.
+    """
+
+    def install(self, host: ProcessHost) -> None:
+        host.behavior = self
+        self.on_install(host)
+
+    def on_install(self, host: ProcessHost) -> None:
+        """Subclass hook; default does nothing."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class CrashBehavior(ByzantineBehavior):
+    """Fail-stop after sending ``after_messages`` messages (0 = never starts)."""
+
+    def __init__(self, after_messages: int = 0):
+        if after_messages < 0:
+            raise ValueError("after_messages must be >= 0")
+        self.after_messages = after_messages
+
+    def on_install(self, host: ProcessHost) -> None:
+        remaining = self.after_messages
+
+        def filter_out(dst: int, payload: tuple):
+            nonlocal remaining
+            if remaining <= 0:
+                host.crashed = True
+                return None
+            remaining -= 1
+            return payload
+
+        if self.after_messages == 0:
+            host.crash()
+        else:
+            host.outbound_filter = filter_out
+
+    def describe(self) -> str:
+        return f"Crash(after={self.after_messages})"
+
+
+class SilentBehavior(ByzantineBehavior):
+    """Receives everything, never sends anything (distinct from crash in
+    that the process keeps consuming messages — the cheapest liveness
+    attack)."""
+
+    def on_install(self, host: ProcessHost) -> None:
+        host.outbound_filter = lambda dst, payload: None
+
+
+class MutatingBehavior(ByzantineBehavior):
+    """Randomly corrupt outgoing messages.
+
+    With probability ``rate`` per message, rewrite one int leaf to a random
+    field element, or drop, or duplicate the message.  Touches every layer,
+    including broadcast internals — the broadest byzantine surface the
+    property tests exercise.
+    """
+
+    def __init__(self, rng: Random, rate: float = 0.3):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rng = rng
+        self.rate = rate
+        self._prime: int | None = None
+
+    def on_install(self, host: ProcessHost) -> None:
+        self._prime = host.runtime.field.prime
+
+        def filter_out(dst: int, payload: tuple):
+            if self.rng.random() >= self.rate:
+                return payload
+            roll = self.rng.random()
+            if roll < 0.2:
+                return None  # drop
+            if roll < 0.3:
+                return [payload, payload]  # duplicate
+            return self._mutate(payload)
+
+        host.outbound_filter = filter_out
+
+    def _mutate(self, obj: object) -> object:
+        """Rewrite one randomly chosen int leaf inside a payload tree."""
+        if isinstance(obj, bool):
+            return obj
+        if isinstance(obj, int):
+            return self.rng.randrange(self._prime)
+        if isinstance(obj, tuple) and obj:
+            idx = self.rng.randrange(len(obj))
+            if idx == 0 and isinstance(obj[0], str):
+                return obj  # keep routing tags intact so the lie lands
+            items = list(obj)
+            items[idx] = self._mutate(items[idx])
+            return tuple(items)
+        if isinstance(obj, frozenset) and obj:
+            items = sorted(obj, key=repr)
+            victim = items[self.rng.randrange(len(items))]
+            return frozenset(x for x in items if x != victim)
+        if isinstance(obj, dict) and obj:
+            key = self.rng.choice(sorted(obj, key=repr))
+            mixed = dict(obj)
+            mixed[key] = self._mutate(mixed[key])
+            return mixed
+        return obj
+
+    def describe(self) -> str:
+        return f"Mutator(rate={self.rate})"
+
+
+class EquivocatingDealerBehavior(ByzantineBehavior):
+    """MW-SVSS / SVSS dealer that hands different recipients inconsistent
+    shares.
+
+    Per the shunning design this must either be caught at share time (the
+    confirmation machinery refuses) or produce disagreeing reconstructions
+    followed by a shun — this behaviour is how Example 1 and the shunning
+    budget experiments drive the protocol.
+    """
+
+    def __init__(self, rng: Random):
+        self.rng = rng
+
+    # deviation hooks queried by the core modules ------------------------------
+    def corrupt_mw_share_values(
+        self, session: object, dst: int, values: list[int], prime: int
+    ) -> list[int]:
+        """Perturb the share vector sent to ``dst`` in MW-SVSS step 1."""
+        mixed = list(values)
+        idx = self.rng.randrange(len(mixed))
+        mixed[idx] = self.rng.randrange(prime)
+        return mixed
+
+    def corrupt_svss_rows(
+        self, session: object, dst: int, row: list[int], col: list[int], prime: int
+    ) -> tuple[list[int], list[int]]:
+        """Perturb the row/column evaluation points sent to ``dst``."""
+        row = list(row)
+        col = list(col)
+        if self.rng.random() < 0.5:
+            row[self.rng.randrange(len(row))] = self.rng.randrange(prime)
+        else:
+            col[self.rng.randrange(len(col))] = self.rng.randrange(prime)
+        return row, col
+
+
+class LyingReconstructorBehavior(ByzantineBehavior):
+    """Broadcasts wrong values in reconstruct (R' step 1).
+
+    This is the lie that DMM's ACK/DEAL machinery exists to punish: the
+    value disagrees with what some process recorded during the share phase,
+    so the liar lands in a `D_i` set (or is silently delayed forever).
+    """
+
+    def __init__(self, rng: Random, rate: float = 1.0):
+        self.rng = rng
+        self.rate = rate
+
+    def corrupt_mw_reconstruct_values(
+        self, session: object, values: dict[int, int], prime: int
+    ) -> dict[int, int]:
+        mixed = dict(values)
+        for key in list(mixed):
+            if self.rng.random() < self.rate:
+                mixed[key] = self.rng.randrange(prime)
+        return mixed
+
+
+class LyingConfirmerBehavior(ByzantineBehavior):
+    """Sends wrong private confirmation values in MW-SVSS step 2."""
+
+    def __init__(self, rng: Random, rate: float = 1.0):
+        self.rng = rng
+        self.rate = rate
+
+    def corrupt_mw_confirm_value(
+        self, session: object, dst: int, value: int, prime: int
+    ) -> int:
+        if self.rng.random() < self.rate:
+            return self.rng.randrange(prime)
+        return value
+
+
+class BiasedCoinBehavior(ByzantineBehavior):
+    """Deals all-zero secrets in the common coin (tries to force output 0).
+
+    The coin's analysis tolerates this: every attach set contains at least
+    t+1 nonfaulty dealers whose uniform secrets keep each value uniform.
+    """
+
+    def coin_secret(self, session: object, slot: int, honest: int, u: int) -> int:
+        return 0
+
+
+class ABALiarBehavior(ByzantineBehavior):
+    """Votes the opposite of its honest value in every agreement phase and
+    flips its coin contribution, within what message validation allows."""
+
+    def __init__(self, rng: Random):
+        self.rng = rng
+
+    def aba_vote(self, round_no: int, phase: int, honest: object) -> object:
+        if isinstance(honest, int):
+            return 1 - honest if honest in (0, 1) else honest
+        return honest
+
+    def coin_secret(self, session: object, slot: int, honest: int, u: int) -> int:
+        return self.rng.randrange(u)

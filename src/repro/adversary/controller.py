@@ -1,0 +1,116 @@
+"""Adversary assembly: which processes are corrupt, and how.
+
+An :class:`Adversary` binds behaviours to process ids and installs them on
+a runtime.  Factory helpers build the standard corruption patterns used
+throughout the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.adversary.behaviors import (
+    ABALiarBehavior,
+    BiasedCoinBehavior,
+    ByzantineBehavior,
+    CrashBehavior,
+    EquivocatingDealerBehavior,
+    LyingConfirmerBehavior,
+    LyingReconstructorBehavior,
+    MutatingBehavior,
+    SilentBehavior,
+)
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.sim.runtime import Runtime
+
+
+class Adversary:
+    """A static corruption: behaviours keyed by process id."""
+
+    def __init__(self, corruptions: dict[int, ByzantineBehavior] | None = None):
+        self.corruptions = dict(corruptions or {})
+
+    @property
+    def corrupt_pids(self) -> frozenset[int]:
+        return frozenset(self.corruptions)
+
+    def nonfaulty_pids(self, config: SystemConfig) -> list[int]:
+        return [pid for pid in config.pids if pid not in self.corruptions]
+
+    def validate(self, config: SystemConfig) -> None:
+        if len(self.corruptions) > config.t:
+            raise ConfigurationError(
+                f"adversary corrupts {len(self.corruptions)} > t={config.t} processes"
+            )
+        unknown = [pid for pid in self.corruptions if pid not in config.pids]
+        if unknown:
+            raise ConfigurationError(f"adversary corrupts unknown processes {unknown}")
+
+    def install(self, runtime: Runtime) -> None:
+        self.validate(runtime.config)
+        for pid, behavior in self.corruptions.items():
+            behavior.install(runtime.host(pid))
+
+    def describe(self) -> str:
+        if not self.corruptions:
+            return "none"
+        parts = [f"{pid}:{b.describe()}" for pid, b in sorted(self.corruptions.items())]
+        return ",".join(parts)
+
+
+def no_adversary() -> Adversary:
+    return Adversary({})
+
+
+def crash_adversary(pids: list[int], after_messages: int = 0) -> Adversary:
+    return Adversary({pid: CrashBehavior(after_messages) for pid in pids})
+
+
+def silent_adversary(pids: list[int]) -> Adversary:
+    return Adversary({pid: SilentBehavior() for pid in pids})
+
+
+def mutating_adversary(pids: list[int], rng: Random, rate: float = 0.3) -> Adversary:
+    return Adversary(
+        {pid: MutatingBehavior(Random(rng.random()), rate) for pid in pids}
+    )
+
+
+def equivocating_adversary(pids: list[int], rng: Random) -> Adversary:
+    return Adversary(
+        {pid: EquivocatingDealerBehavior(Random(rng.random())) for pid in pids}
+    )
+
+
+#: Catalogue used by :func:`random_adversary`; each entry builds one behaviour.
+BEHAVIOR_KINDS: dict[str, object] = {
+    "honest_marked": lambda rng: ByzantineBehavior(),
+    "crash": lambda rng: CrashBehavior(after_messages=rng.randrange(0, 200)),
+    "silent": lambda rng: SilentBehavior(),
+    "mutator": lambda rng: MutatingBehavior(Random(rng.random()), rate=rng.uniform(0.05, 0.6)),
+    "equivocating_dealer": lambda rng: EquivocatingDealerBehavior(Random(rng.random())),
+    "lying_reconstructor": lambda rng: LyingReconstructorBehavior(Random(rng.random())),
+    "lying_confirmer": lambda rng: LyingConfirmerBehavior(Random(rng.random())),
+    "biased_coin": lambda rng: BiasedCoinBehavior(),
+    "aba_liar": lambda rng: ABALiarBehavior(Random(rng.random())),
+}
+
+
+def random_adversary(
+    config: SystemConfig,
+    rng: Random,
+    count: int | None = None,
+    kinds: list[str] | None = None,
+) -> Adversary:
+    """Corrupt a random set of up to ``t`` processes with random behaviours."""
+    if count is None:
+        count = rng.randint(0, config.t)
+    count = min(count, config.t)
+    names = kinds or list(BEHAVIOR_KINDS)
+    victims = rng.sample(list(config.pids), count)
+    corruptions = {}
+    for pid in victims:
+        kind = rng.choice(names)
+        corruptions[pid] = BEHAVIOR_KINDS[kind](rng)
+    return Adversary(corruptions)

@@ -1,0 +1,83 @@
+"""Protocol-aware adversarial schedulers.
+
+The plain schedulers in :mod:`repro.sim.scheduler` delay by address only.
+The scheduler here implements the classic worst case for coin-based
+agreement — the *vote-balancing* schedule: vote deliveries are ordered by
+their *value*, so that one half of the processes keeps seeing a majority
+for 0 and the other half for 1 (as long as both values exist among the
+current estimates).  Every round then ends with the processes consulting
+the coin:
+
+* against a **private coin** (Ben-Or, Bracha) the estimates re-randomize
+  each round and stay split for an expected number of rounds exponential
+  in ``n`` — the baselines' blow-up in experiment E2;
+* against an **ε-failure coin** (Canetti-Rabin with failed AVSS) the
+  adversary keeps the estimates split forever once the coin fails — the
+  non-termination of experiment E8;
+* against a **true common coin** (the paper's SCC) the schedule is
+  powerless: one good flip hands every process the same estimate and the
+  next round decides.
+
+Eventual delivery still holds: held messages arrive after a finite delay.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.sim.scheduler import Scheduler
+
+
+class VoteBalancingScheduler(Scheduler):
+    """Order vote deliveries by value to keep the system split.
+
+    Receivers in group A (the first half of the pids) get 1-valued votes
+    late; receivers in group B get 0-valued votes late.  While both values
+    exist among the estimates, each group keeps adopting "its" value, no
+    phase-2 value exceeds ``n/2`` system-wide, and every process falls
+    through to the coin in every round.
+    """
+
+    def __init__(self, config: SystemConfig, base_delay: float = 1.0, hold: float = 50.0):
+        self.n = config.n
+        self._base = base_delay
+        self._hold = hold
+        self._group_a = frozenset(range(1, config.n // 2 + 1))
+
+    @staticmethod
+    def _vote_value(payload: object) -> int | None:
+        """The binary value a vote message argues for, if any."""
+        vote = None
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] in ("b1", "b2", "b3")
+            and isinstance(payload[2], tuple)
+            and len(payload[2]) == 4
+            and isinstance(payload[2][0], str)
+            and payload[2][0].startswith("aba:")
+        ):
+            vote = payload[2][3]
+        elif (
+            isinstance(payload, tuple)
+            and len(payload) == 4
+            and isinstance(payload[0], str)
+            and payload[0].startswith("benor:")
+        ):
+            vote = payload[3]
+        if vote in (0, 1):
+            return vote
+        if isinstance(vote, tuple) and len(vote) == 2 and vote[0] in (0, 1):
+            return vote[0]  # flagged phase-3 vote (w, D)
+        return None
+
+    def delay(self, src: int, dst: int, payload: object, now: float) -> float:
+        value = self._vote_value(payload)
+        if value is None:
+            return self._base
+        held = 1 if dst in self._group_a else 0
+        if value == held:
+            return self._hold
+        return self._base
+
+    def describe(self) -> str:
+        return f"VoteBalancing(hold={self._hold})"

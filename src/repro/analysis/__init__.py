@@ -1,0 +1,25 @@
+"""Measurement analysis: statistics, complexity fits, table rendering."""
+
+from repro.analysis.complexity import (
+    ExponentialFit,
+    PowerFit,
+    fit_exponential,
+    fit_power_law,
+    looks_polynomial,
+)
+from repro.analysis.stats import Summary, geometric_mean, proportion_ci95, summarize
+from repro.analysis.tables import print_table, render_table
+
+__all__ = [
+    "ExponentialFit",
+    "PowerFit",
+    "Summary",
+    "fit_exponential",
+    "fit_power_law",
+    "geometric_mean",
+    "looks_polynomial",
+    "print_table",
+    "proportion_ci95",
+    "render_table",
+    "summarize",
+]

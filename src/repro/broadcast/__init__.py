@@ -1,0 +1,5 @@
+"""Broadcast substrate: Weak Reliable Broadcast + Bracha Reliable Broadcast."""
+
+from repro.broadcast.manager import LAYER, BroadcastManager
+
+__all__ = ["BroadcastManager", "LAYER"]

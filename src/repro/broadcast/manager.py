@@ -1,0 +1,195 @@
+"""Weak Reliable Broadcast and Reliable Broadcast (paper Appendix A).
+
+WRB is Dolev's crusader agreement; RB is Bracha's echo broadcast layered on
+top of it.  One :class:`BroadcastManager` per process multiplexes every
+concurrent broadcast instance, keyed by a *broadcast id* whose first element
+is the origin's pid (which is checked against the network source, so
+byzantine processes cannot start broadcasts in someone else's name).
+
+Wire messages (all on the ``rb`` accounting layer):
+
+* ``("b1", bid, value)`` — WRB type 1, origin to all.
+* ``("b2", bid, value)`` — WRB type 2 (crusader echo).
+* ``("b3", bid, value)`` — RB type 3 (Bracha ready/echo).
+
+Delivered values are routed to subscribers by *topic*: a broadcast value is
+itself a tuple whose first element names the protocol that owns it (e.g.
+``"vss"``, ``"coin"``, ``"aba"``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ProtocolError
+from repro.sim.process import ProcessHost
+
+LAYER = "rb"
+
+
+def _layer_for(bid: tuple) -> str:
+    """Accounting layer for a broadcast: echo traffic is attributed to the
+    protocol topic embedded in the bid (``(origin, topic, ...)``)."""
+    if len(bid) > 1 and isinstance(bid[1], str):
+        return f"rb.{bid[1]}"
+    return LAYER
+
+DeliverHandler = Callable[[int, tuple], None]
+
+# Per-instance state indices (plain lists beat attribute lookups at the
+# message rates the VSS stack generates).
+_SENT2 = 0  # sent a type-2 message for this bid
+_TYPE2 = 1  # value -> set of senders
+_ACCEPTED = 2  # WRB accepted (type-2 threshold reached)
+_SENT3 = 3  # sent a type-3 message
+_TYPE3 = 4  # value -> set of senders
+_DELIVERED = 5  # RB delivered
+
+
+class BroadcastManager:
+    """All WRB/RB instances of one process.
+
+    Exposes :meth:`broadcast` (RB), :meth:`broadcast_weak` (WRB only, used
+    directly by nothing in the paper's stack but part of the public toolbox)
+    and topic subscription for deliveries.
+    """
+
+    def __init__(self, host: ProcessHost):
+        self.host = host
+        self.n = host.runtime.config.n
+        self.t = host.runtime.config.t
+        self._instances: dict[object, list] = {}
+        self._weak_only: set[object] = set()
+        self._topic_handlers: dict[str, DeliverHandler] = {}
+        self._wrb_handlers: dict[str, DeliverHandler] = {}
+        self.delivered_values: dict[object, tuple[int, tuple]] = {}
+        host.attach("broadcast", self)
+        host.register_handler("b1", self._on_b1)
+        host.register_handler("b2", self._on_b2)
+        host.register_handler("b3", self._on_b3)
+
+    # -- public API -----------------------------------------------------------
+    def subscribe(self, topic: str, handler: DeliverHandler) -> None:
+        """Receive RB deliveries whose value starts with ``topic``."""
+        if topic in self._topic_handlers:
+            raise ProtocolError(f"topic {topic!r} already subscribed")
+        self._topic_handlers[topic] = handler
+
+    def subscribe_weak(self, topic: str, handler: DeliverHandler) -> None:
+        """Receive WRB accepts for weak-only broadcasts on ``topic``."""
+        if topic in self._wrb_handlers:
+            raise ProtocolError(f"weak topic {topic!r} already subscribed")
+        self._wrb_handlers[topic] = handler
+
+    def broadcast(self, bid: tuple, value: tuple) -> None:
+        """Reliably broadcast ``value`` under id ``bid``.
+
+        ``bid[0]`` must be this process (origin authentication).
+        """
+        self._check_bid(bid)
+        self.host.send_all(("b1", bid, value), _layer_for(bid))
+
+    def broadcast_weak(self, bid: tuple, value: tuple) -> None:
+        """Weak-reliable-broadcast only (no Bracha echo amplification)."""
+        self._check_bid(bid)
+        self._weak_only.add(bid)
+        self.host.send_all(("b1", bid, value), _layer_for(bid))
+
+    def _check_bid(self, bid: tuple) -> None:
+        if not isinstance(bid, tuple) or not bid or bid[0] != self.host.pid:
+            raise ProtocolError(
+                f"broadcast id must be a tuple starting with the origin pid "
+                f"{self.host.pid}, got {bid!r}"
+            )
+
+    # -- instance state ------------------------------------------------------------
+    def _instance(self, bid: object) -> list:
+        inst = self._instances.get(bid)
+        if inst is None:
+            inst = [False, {}, False, False, {}, False]
+            self._instances[bid] = inst
+        return inst
+
+    # -- WRB ------------------------------------------------------------
+    def _on_b1(self, src: int, payload: tuple) -> None:
+        if len(payload) != 3:
+            return
+        _, bid, value = payload
+        if not isinstance(bid, tuple) or not bid or bid[0] != src:
+            return  # spoofed origin
+        inst = self._instance(bid)
+        if inst[_SENT2]:
+            return  # send at most one type-2 per bid (crusader rule)
+        inst[_SENT2] = True
+        self.host.send_all(("b2", bid, value), _layer_for(bid))
+
+    def _on_b2(self, src: int, payload: tuple) -> None:
+        if len(payload) != 3:
+            return
+        _, bid, value = payload
+        if not isinstance(bid, tuple) or not bid:
+            return
+        inst = self._instance(bid)
+        try:
+            senders = inst[_TYPE2].setdefault(value, set())
+        except TypeError:
+            return  # unhashable garbage from a byzantine sender
+        if src in senders:
+            return
+        senders.add(src)
+        if not inst[_ACCEPTED] and len(senders) >= self.n - self.t:
+            inst[_ACCEPTED] = True
+            self._on_wrb_accept(bid, value)
+
+    def _on_wrb_accept(self, bid: tuple, value: tuple) -> None:
+        if bid in self._weak_only or self._is_weak_bid(bid):
+            origin = bid[0]
+            self.delivered_values.setdefault(("weak", bid), (origin, value))
+            self._route(self._wrb_handlers, origin, value)
+            return
+        inst = self._instance(bid)
+        if not inst[_SENT3]:
+            inst[_SENT3] = True
+            self.host.send_all(("b3", bid, value), _layer_for(bid))
+
+    @staticmethod
+    def _is_weak_bid(bid: tuple) -> bool:
+        """Weak-only broadcasts mark their bid with a leading "w" topic tag
+        in position 1 so that *receivers* (who never called broadcast_weak)
+        also treat them as weak."""
+        return len(bid) > 1 and bid[1] == "weak"
+
+    # -- RB -----------------------------------------------------------------
+    def _on_b3(self, src: int, payload: tuple) -> None:
+        if len(payload) != 3:
+            return
+        _, bid, value = payload
+        if not isinstance(bid, tuple) or not bid:
+            return
+        inst = self._instance(bid)
+        try:
+            senders = inst[_TYPE3].setdefault(value, set())
+        except TypeError:
+            return
+        if src in senders:
+            return
+        senders.add(src)
+        count = len(senders)
+        if not inst[_SENT3] and count >= self.t + 1:
+            inst[_SENT3] = True
+            self.host.send_all(("b3", bid, value), _layer_for(bid))
+        if not inst[_DELIVERED] and count >= self.n - self.t:
+            inst[_DELIVERED] = True
+            origin = bid[0]
+            self.delivered_values[bid] = (origin, value)
+            self._route(self._topic_handlers, origin, value)
+
+    # -- delivery routing ------------------------------------------------------
+    def _route(
+        self, table: dict[str, DeliverHandler], origin: int, value: tuple
+    ) -> None:
+        if not isinstance(value, tuple) or not value:
+            return
+        handler = table.get(value[0])
+        if handler is not None:
+            handler(origin, value)

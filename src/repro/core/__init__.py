@@ -1,0 +1,57 @@
+"""The paper's contribution: DMM, MW-SVSS, SVSS, SCC, and agreement."""
+
+from repro.core.agreement import ABAProcess
+from repro.core.api import (
+    AgreementResult,
+    CoinResult,
+    Stack,
+    VSSResult,
+    build_stack,
+    flip_common_coin,
+    run_byzantine_agreement,
+    run_mwsvss,
+    run_svss,
+)
+from repro.core.coin import (
+    CoinSource,
+    CommonCoinModule,
+    IdealCoin,
+    IdealCoinOracle,
+    LocalCoin,
+)
+from repro.core.dmm import DELAY, DISCARD, DMM, FORWARD
+from repro.core.manager import CallbackWatcher, VSSManager
+from repro.core.mwsvss import BOTTOM, MWSVSSInstance
+from repro.core.sessions import SessionClock, mw_session, svss_session
+from repro.core.svss import SVSSInstance, pair_sessions
+
+__all__ = [
+    "ABAProcess",
+    "AgreementResult",
+    "BOTTOM",
+    "CallbackWatcher",
+    "CoinResult",
+    "CoinSource",
+    "CommonCoinModule",
+    "DELAY",
+    "DISCARD",
+    "DMM",
+    "FORWARD",
+    "IdealCoin",
+    "IdealCoinOracle",
+    "LocalCoin",
+    "MWSVSSInstance",
+    "SVSSInstance",
+    "SessionClock",
+    "Stack",
+    "VSSManager",
+    "VSSResult",
+    "build_stack",
+    "flip_common_coin",
+    "mw_session",
+    "pair_sessions",
+    "run_byzantine_agreement",
+    "run_mwsvss",
+    "run_svss",
+    "svss_session",
+]

@@ -1,0 +1,331 @@
+"""Asynchronous binary Byzantine agreement (paper §5).
+
+The skeleton is Bracha's three-phase validated-vote loop — the reduction
+the paper imports from [6] Fig 5-11 — with the coin pluggable: the SCC
+(:class:`~repro.core.coin.CommonCoinModule`) gives the paper's protocol,
+:class:`~repro.core.coin.LocalCoin` gives the Bracha-1984 exponential
+baseline, :class:`~repro.core.coin.IdealCoin` gives the large-``n``
+scaling stand-in.
+
+Round ``r`` for a process with current estimate ``est``:
+
+* **phase 1** — RB-broadcast ``est``; wait for ``n - t`` phase-1 votes;
+  adopt the majority.
+* **phase 2** — RB-broadcast it; wait for ``n - t`` *validated* phase-2
+  votes (a phase-2 vote for ``v`` is accepted only once
+  ``⌊(n-t)/2⌋ + 1`` phase-1 votes for ``v`` have been seen — the sender's
+  claimed majority must be possible).  If some ``w`` exceeds ``n/2`` among
+  them, the phase-3 vote is the *flagged* ``(w, D)``; else unflagged ⊥.
+* **phase 3** — RB-broadcast it; wait for ``n - t`` validated phase-3
+  votes (flagged ``(w, D)`` needs ``⌊n/2⌋ + 1`` accepted phase-2 votes for
+  ``w``; unflagged needs a no-majority multiset of size ``n - t`` to be
+  possible).  Count flagged votes for the — necessarily unique — ``w``:
+
+  - ``>= 2t + 1``: **decide** ``w``;
+  - ``>= t + 1``: adopt ``est := w``;
+  - otherwise ``est :=`` the round-``r`` coin.
+
+Validation notes (documented deviation): phase-1 votes accept any bit.
+Bracha's full phase-1 justification is only load-bearing for his local-coin
+analysis; with a *shunning* coin it would be a liveness hole — in a
+session whose coin the adversary broke, honest processes legitimately hold
+different coin values, so a coin-consistency check could leave a correct
+vote unvalidated forever.  Modern n > 3t protocols (e.g. BV-broadcast
+designs) make the same move.  Safety rests on the phase-2/3 thresholds,
+which make the flaggable value unique system-wide and unforgeable by the
+``t`` faulty processes.
+
+Coin discipline: a process *joins* the round-``r`` coin on entering round
+``r`` (so the interactive share stage overlaps the voting) and *releases*
+it when its round position is fixed (end of phase 3) whether or not it
+needs the value — every nonfaulty process releases every coin it joined,
+which is what lets stragglers' reveals terminate.  Deciding processes keep
+participating for one more full round and then halt; by then every
+nonfaulty process has decided (the ``t + 1``-flag adoption rule), so no one
+is left waiting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.broadcast.manager import BroadcastManager
+from repro.core.coin import CoinSource
+from repro.errors import ProtocolError
+from repro.sim.process import ProcessHost
+
+DecideCallback = Callable[[int], None]
+
+
+class _Round:
+    """Per-round vote bookkeeping."""
+
+    __slots__ = (
+        "received",
+        "accepted",
+        "snapshot",
+        "sent",
+        "coin_value",
+        "resolved",
+    )
+
+    def __init__(self) -> None:
+        # phase -> {sender: vote}; insertion order = acceptance order
+        self.received: dict[int, dict[int, object]] = {1: {}, 2: {}, 3: {}}
+        self.accepted: dict[int, dict[int, object]] = {1: {}, 2: {}, 3: {}}
+        self.snapshot: dict[int, list[object]] = {}
+        self.sent: dict[int, bool] = {1: False, 2: False, 3: False}
+        self.coin_value: int | None = None
+        self.resolved = False
+
+
+class ABAProcess:
+    """One process' agreement state machine."""
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        broadcast: BroadcastManager,
+        coin: CoinSource,
+        tag: str = "aba",
+        on_decide: DecideCallback | None = None,
+    ):
+        self.host = host
+        self.pid = host.pid
+        self.config = host.runtime.config
+        self.n = self.config.n
+        self.t = self.config.t
+        self.coin = coin
+        self.tag = tag
+        self.topic = f"aba:{tag}"
+        self.on_decide = on_decide
+        self.input: int | None = None
+        self.est: int | None = None
+        self.round = 0
+        self.rounds: dict[int, _Round] = {}
+        self.waiting_phase = 0  # phase this process is currently blocked on
+        self.awaiting_coin = False
+        self.decided: int | None = None
+        self.decide_round: int | None = None
+        self.halted = False
+        self._broadcast = broadcast
+        broadcast.subscribe(self.topic, self._on_rb)
+        host.attach(f"aba:{tag}", self)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def start(self, input_value: int) -> None:
+        """Begin the agreement with a binary input."""
+        if input_value not in (0, 1):
+            raise ProtocolError(f"ABA input must be 0 or 1, got {input_value!r}")
+        if self.input is not None:
+            raise ProtocolError("agreement already started")
+        self.input = input_value
+        self.est = input_value
+        self._enter_round(1)
+
+    @property
+    def rounds_used(self) -> int:
+        """Rounds entered so far (the paper's round-complexity metric)."""
+        return self.round
+
+    # ------------------------------------------------------------------
+    # round machinery
+    # ------------------------------------------------------------------
+    def _round_state(self, r: int) -> _Round:
+        state = self.rounds.get(r)
+        if state is None:
+            state = _Round()
+            self.rounds[r] = state
+        return state
+
+    def _coin_sid(self, r: int) -> tuple:
+        return ("cc", self.tag, r)
+
+    def _enter_round(self, r: int) -> None:
+        self.round = r
+        self.host.runtime.trace.record_event("aba.round")
+        self.coin.join(self._coin_sid(r))
+        self._send_vote(r, 1, self.est)
+        self.waiting_phase = 1
+        self._maybe_advance()
+
+    def _send_vote(self, r: int, phase: int, vote: object) -> None:
+        state = self._round_state(r)
+        if state.sent[phase] or self.halted:
+            return
+        state.sent[phase] = True
+        deviate = self.host.deviation("aba_vote")
+        if deviate is not None:
+            vote = deviate(r, phase, vote)
+        bid = (self.pid, self.topic, r, phase)
+        self._broadcast.broadcast(bid, (self.topic, r, phase, vote))
+
+    # ------------------------------------------------------------------
+    # vote intake and validation
+    # ------------------------------------------------------------------
+    def _on_rb(self, origin: int, value: tuple) -> None:
+        if len(value) != 4:
+            return
+        _, r, phase, vote = value
+        if not isinstance(r, int) or r < 1 or phase not in (1, 2, 3):
+            return
+        state = self._round_state(r)
+        if origin in state.received[phase]:
+            return
+        if not self._well_formed(phase, vote):
+            return
+        state.received[phase][origin] = vote
+        self._revalidate(r)
+        self._maybe_advance()
+
+    @staticmethod
+    def _well_formed(phase: int, vote: object) -> bool:
+        if phase in (1, 2):
+            return vote in (0, 1)
+        return (
+            isinstance(vote, tuple)
+            and len(vote) == 2
+            and isinstance(vote[1], bool)
+            and (vote[0] in (0, 1) if vote[1] else vote[0] is None)
+        )
+
+    def _revalidate(self, r: int) -> None:
+        """Move received votes to accepted once their claims are possible.
+
+        Acceptance can cascade (an accepted phase-1 vote can validate a
+        waiting phase-2 vote, etc.), so iterate to a fixpoint.
+        """
+        state = self._round_state(r)
+        progressed = True
+        while progressed:
+            progressed = False
+            for phase in (1, 2, 3):
+                pool = state.received[phase]
+                accepted = state.accepted[phase]
+                for sender, vote in pool.items():
+                    if sender in accepted:
+                        continue
+                    if self._valid(state, phase, vote):
+                        accepted[sender] = vote
+                        progressed = True
+
+    def _valid(self, state: _Round, phase: int, vote: object) -> bool:
+        if phase == 1:
+            return True  # see module docstring: any bit is acceptable
+        if phase == 2:
+            # The sender claims ``vote`` was the majority of *some* n-t
+            # phase-1 snapshot.  Ties break to 0, so a vote for 0 is
+            # justifiable with ceil((n-t)/2) zeros while a vote for 1
+            # needs a strict majority floor((n-t)/2)+1 of ones.
+            backing = sum(
+                1 for v in state.accepted[1].values() if v == vote
+            )
+            wait = self.n - self.t
+            needed = wait // 2 + 1 if vote == 1 else (wait + 1) // 2
+            return backing >= needed
+        w, flagged = vote
+        counts = [0, 0]
+        for v in state.accepted[2].values():
+            counts[v] += 1
+        if flagged:
+            return counts[w] >= self.n // 2 + 1
+        # Unflagged: some n-t sub-multiset of phase-2 votes with no strict
+        # majority must be possible given what we have accepted.
+        need = self.n - self.t
+        floor_half = self.n // 2
+        return (
+            counts[0] + counts[1] >= need
+            and counts[0] >= need - floor_half
+            and counts[1] >= need - floor_half
+        )
+
+    # ------------------------------------------------------------------
+    # the process' own phase progression
+    # ------------------------------------------------------------------
+    def _maybe_advance(self) -> None:
+        if self.halted or self.round == 0 or self.awaiting_coin:
+            return
+        state = self._round_state(self.round)
+        while self.waiting_phase in (1, 2, 3):
+            phase = self.waiting_phase
+            if phase in state.snapshot:
+                break
+            accepted = state.accepted[phase]
+            if len(accepted) < self.n - self.t:
+                break
+            snapshot = list(accepted.values())[: self.n - self.t]
+            state.snapshot[phase] = snapshot
+            if phase == 1:
+                votes = sum(1 for v in snapshot if v == 1)
+                majority = 1 if votes * 2 > len(snapshot) else 0
+                self._send_vote(self.round, 2, majority)
+                self.waiting_phase = 2
+            elif phase == 2:
+                counts = [0, 0]
+                for v in snapshot:
+                    counts[v] += 1
+                if counts[0] > self.n / 2:
+                    vote3: tuple = (0, True)
+                elif counts[1] > self.n / 2:
+                    vote3 = (1, True)
+                else:
+                    vote3 = (None, False)
+                self._send_vote(self.round, 3, vote3)
+                self.waiting_phase = 3
+            else:
+                self._resolve_round(state)
+                break
+
+    def _resolve_round(self, state: _Round) -> None:
+        if state.resolved:
+            return
+        state.resolved = True
+        r = self.round
+        snapshot = state.snapshot[3]
+        flag_counts = [0, 0]
+        for vote in snapshot:
+            w, flagged = vote
+            if flagged:
+                flag_counts[w] += 1
+        winner = 0 if flag_counts[0] >= flag_counts[1] else 1
+        count = flag_counts[winner]
+        need_coin = count < self.t + 1
+        # Our position in this round is now fixed: the coin may be revealed.
+        self.coin.release(self._coin_sid(r))
+        if count >= 2 * self.t + 1:
+            self.est = winner
+            self._decide(winner, r)
+        elif count >= self.t + 1:
+            self.est = winner
+        if need_coin:
+            self.awaiting_coin = True
+            self.coin.get(self._coin_sid(r), lambda v, r=r: self._on_coin(r, v))
+        else:
+            # Still fetch the value (it validates nothing but records stats)
+            self.coin.get(self._coin_sid(r), lambda v, r=r: None)
+            self._finish_round(r)
+
+    def _on_coin(self, r: int, value: int) -> None:
+        state = self._round_state(r)
+        state.coin_value = value
+        if self.awaiting_coin and self.round == r:
+            self.awaiting_coin = False
+            self.est = value
+            self._finish_round(r)
+
+    def _finish_round(self, r: int) -> None:
+        if self.decided is not None and r >= self.decide_round + 1:
+            self.halted = True
+            return
+        self._enter_round(r + 1)
+
+    def _decide(self, value: int, r: int) -> None:
+        if self.decided is not None:
+            return
+        self.decided = value
+        self.decide_round = r
+        self.host.runtime.trace.record_event("aba.decide")
+        if self.on_decide is not None:
+            self.on_decide(value)

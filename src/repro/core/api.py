@@ -1,0 +1,419 @@
+"""High-level one-call API: build a stack, run a protocol, collect results.
+
+This is the public face of the library::
+
+    from repro import SystemConfig, run_byzantine_agreement
+
+    result = run_byzantine_agreement(
+        inputs=[0, 1, 1, 0], config=SystemConfig(n=4, seed=42), coin="svss",
+    )
+    assert result.agreed
+
+Coins: ``"svss"`` is the paper's protocol (full SVSS shunning common coin);
+``"local"`` is the Bracha/Ben-Or private-coin baseline; ``("ideal", p)``
+is an oracle coin that agrees with probability ``p`` (use measured SCC
+rates to emulate the full stack at large ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.adversary.controller import Adversary, no_adversary
+from repro.broadcast.manager import BroadcastManager
+from repro.config import SystemConfig
+from repro.core.agreement import ABAProcess
+from repro.core.coin import (
+    CoinSource,
+    CommonCoinModule,
+    IdealCoin,
+    IdealCoinOracle,
+    LocalCoin,
+)
+from repro.core.manager import CallbackWatcher, VSSManager
+from repro.core.mwsvss import BOTTOM
+from repro.core.sessions import mw_session, svss_session
+from repro.errors import ConfigurationError, DeadlockError, ProtocolError
+from repro.sim.runtime import DEFAULT_MAX_EVENTS, Runtime
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+CoinSpec = object  # str | tuple | callable
+
+
+@dataclass
+class Stack:
+    """One assembled system: runtime plus per-process modules."""
+
+    config: SystemConfig
+    runtime: Runtime
+    broadcasts: dict[int, BroadcastManager]
+    vss: dict[int, VSSManager]
+    coins: dict[int, CoinSource] = field(default_factory=dict)
+    aba: dict[int, ABAProcess] = field(default_factory=dict)
+    adversary: Adversary = field(default_factory=no_adversary)
+
+    @property
+    def trace(self) -> Trace:
+        return self.runtime.trace
+
+    def nonfaulty(self) -> list[int]:
+        return self.adversary.nonfaulty_pids(self.config)
+
+
+def build_stack(
+    config: SystemConfig,
+    scheduler: Scheduler | None = None,
+    adversary: Adversary | None = None,
+    with_vss: bool = True,
+    measure_bytes: bool = False,
+) -> Stack:
+    """Assemble runtime, broadcast and (optionally) VSS for every process."""
+    runtime = Runtime(config, scheduler=scheduler)
+    runtime.trace.measure_bytes = measure_bytes
+    broadcasts = {}
+    vss = {}
+    for pid in config.pids:
+        host = runtime.host(pid)
+        broadcasts[pid] = BroadcastManager(host)
+        if with_vss:
+            vss[pid] = VSSManager(host, broadcasts[pid])
+    stack = Stack(
+        config=config,
+        runtime=runtime,
+        broadcasts=broadcasts,
+        vss=vss,
+        adversary=adversary or no_adversary(),
+    )
+    stack.adversary.install(runtime)
+    return stack
+
+
+def _make_coins(stack: Stack, coin: CoinSpec) -> dict[int, CoinSource]:
+    config = stack.config
+    coins: dict[int, CoinSource] = {}
+    if coin == "svss":
+        if not stack.vss:
+            raise ConfigurationError("svss coin requires a stack with VSS")
+        config.require_optimal_resilience()
+        for pid in config.pids:
+            host = stack.runtime.host(pid)
+            coins[pid] = CommonCoinModule(host, stack.vss[pid], stack.broadcasts[pid])
+    elif coin == "local":
+        for pid in config.pids:
+            coins[pid] = LocalCoin(config.derive_rng("local-coin", pid))
+    elif isinstance(coin, tuple) and len(coin) == 2 and coin[0] == "ideal":
+        oracle = IdealCoinOracle(config.derive_rng("ideal-coin"), agreement=coin[1])
+        for pid in config.pids:
+            coins[pid] = IdealCoin(oracle, pid)
+    elif callable(coin):
+        for pid in config.pids:
+            coins[pid] = coin(stack, pid)
+    else:
+        raise ConfigurationError(f"unknown coin spec {coin!r}")
+    stack.coins = coins
+    return coins
+
+
+# ---------------------------------------------------------------------------
+# Byzantine agreement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AgreementResult:
+    """Outcome of one agreement run."""
+
+    config: SystemConfig
+    decisions: dict[int, int]
+    rounds: dict[int, int]
+    nonfaulty: list[int]
+    sim_time: float
+    trace: Trace
+    terminated: bool
+    adversary_description: str = "none"
+
+    @property
+    def agreed(self) -> bool:
+        """All nonfaulty processes decided, on the same value."""
+        if not self.terminated:
+            return False
+        values = {self.decisions[p] for p in self.nonfaulty}
+        return len(values) == 1
+
+    @property
+    def decision(self) -> int | None:
+        values = {v for p, v in self.decisions.items() if p in self.nonfaulty}
+        return next(iter(values)) if len(values) == 1 else None
+
+    @property
+    def max_rounds(self) -> int:
+        return max(self.rounds.values(), default=0)
+
+    @property
+    def shun_pairs(self) -> set[tuple[int, int]]:
+        return self.trace.shun_pairs()
+
+
+def run_byzantine_agreement(
+    inputs: list[int] | dict[int, int],
+    config: SystemConfig,
+    coin: CoinSpec = "svss",
+    adversary: Adversary | None = None,
+    scheduler: Scheduler | None = None,
+    max_rounds: int = 200,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    tag: str = "aba",
+    measure_bytes: bool = False,
+) -> AgreementResult:
+    """Run one asynchronous Byzantine agreement to completion.
+
+    ``inputs`` is a pid-keyed dict or a list indexed ``pid - 1``.  The run
+    stops when every nonfaulty process decided, or when some process
+    exceeds ``max_rounds`` (used by the non-termination experiments —
+    the paper's protocol never hits it).
+    """
+    needs_vss = coin == "svss"
+    stack = build_stack(
+        config,
+        scheduler=scheduler,
+        adversary=adversary,
+        with_vss=needs_vss,
+        measure_bytes=measure_bytes,
+    )
+    coins = _make_coins(stack, coin)
+    if isinstance(inputs, dict):
+        input_map = dict(inputs)
+    else:
+        if len(inputs) != config.n:
+            raise ConfigurationError(
+                f"need {config.n} inputs, got {len(inputs)}"
+            )
+        input_map = {pid: inputs[pid - 1] for pid in config.pids}
+
+    decisions: dict[int, int] = {}
+    processes: dict[int, ABAProcess] = {}
+    for pid in config.pids:
+        processes[pid] = ABAProcess(
+            stack.runtime.host(pid),
+            stack.broadcasts[pid],
+            coins[pid],
+            tag=tag,
+            on_decide=lambda v, pid=pid: decisions.setdefault(pid, v),
+        )
+    stack.aba = processes
+    nonfaulty = stack.nonfaulty()
+    for pid in config.pids:
+        processes[pid].start(input_map[pid])
+
+    def finished() -> bool:
+        if all(pid in decisions for pid in nonfaulty):
+            return True
+        return any(processes[pid].round > max_rounds for pid in nonfaulty)
+
+    try:
+        stack.runtime.run_until(finished, max_events=max_events)
+        terminated = all(pid in decisions for pid in nonfaulty)
+    except DeadlockError:
+        terminated = False
+    return AgreementResult(
+        config=config,
+        decisions=decisions,
+        rounds={pid: processes[pid].rounds_used for pid in nonfaulty},
+        nonfaulty=nonfaulty,
+        sim_time=stack.runtime.now,
+        trace=stack.trace,
+        terminated=terminated,
+        adversary_description=stack.adversary.describe(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# One-shot VSS runs (tests, benchmarks, examples)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VSSResult:
+    """Outcome of one share(+reconstruct) session."""
+
+    config: SystemConfig
+    session: tuple
+    share_completed: set[int]
+    outputs: dict[int, object]
+    sim_time: float
+    trace: Trace
+
+    def output_values(self, pids: list[int] | None = None) -> set[object]:
+        pids = pids if pids is not None else list(self.outputs)
+        return {self.outputs[p] for p in pids if p in self.outputs}
+
+
+def run_mwsvss(
+    config: SystemConfig,
+    dealer: int,
+    moderator: int,
+    secret: int,
+    moderator_value: int | None = None,
+    adversary: Adversary | None = None,
+    scheduler: Scheduler | None = None,
+    reconstruct: bool = True,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    counter: int = 0,
+) -> tuple[VSSResult, Stack]:
+    """Run one standalone MW-SVSS session (share, then optionally R')."""
+    stack = build_stack(config, scheduler=scheduler, adversary=adversary)
+    sid = mw_session(("solo", counter), dealer, moderator, "dm")
+    completed: set[int] = set()
+    outputs: dict[int, object] = {}
+    for pid in config.pids:
+        stack.vss[pid].register_watcher(
+            ("solo", counter),
+            CallbackWatcher(
+                on_mw_share_complete=lambda s, pid=pid: completed.add(pid),
+                on_mw_output=lambda s, v, pid=pid: outputs.setdefault(pid, v),
+            ),
+        )
+    stack.vss[dealer].mw_share(sid, secret)
+    expected = secret if moderator_value is None else moderator_value
+    stack.vss[moderator].mw_moderate(sid, expected)
+    nonfaulty = set(stack.nonfaulty())
+    try:
+        stack.runtime.run_until(
+            lambda: nonfaulty <= completed, max_events=max_events
+        )
+        if reconstruct:
+            for pid in config.pids:
+                # Corrupt processes participate too (their behaviours lie
+                # through the protocol); skip any that cannot legally start.
+                try:
+                    stack.vss[pid].mw_begin_reconstruct(sid)
+                except ProtocolError:
+                    continue
+            stack.runtime.run_until(
+                lambda: nonfaulty <= set(outputs), max_events=max_events
+            )
+    except DeadlockError:
+        pass
+    result = VSSResult(
+        config=config,
+        session=sid,
+        share_completed=completed,
+        outputs=outputs,
+        sim_time=stack.runtime.now,
+        trace=stack.trace,
+    )
+    return result, stack
+
+
+def run_svss(
+    config: SystemConfig,
+    dealer: int,
+    secret: int,
+    adversary: Adversary | None = None,
+    scheduler: Scheduler | None = None,
+    reconstruct: bool = True,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    counter: int = 0,
+) -> tuple[VSSResult, Stack]:
+    """Run one standalone SVSS session (share, then optionally R)."""
+    stack = build_stack(config, scheduler=scheduler, adversary=adversary)
+    tag = ("solo-svss", counter)
+    sid = svss_session(tag, dealer)
+    completed: set[int] = set()
+    outputs: dict[int, object] = {}
+    for pid in config.pids:
+        stack.vss[pid].register_watcher(
+            tag,
+            CallbackWatcher(
+                on_svss_share_complete=lambda s, pid=pid: completed.add(pid),
+                on_svss_output=lambda s, v, pid=pid: outputs.setdefault(pid, v),
+            ),
+        )
+    stack.vss[dealer].svss_share(sid, secret)
+    nonfaulty = set(stack.nonfaulty())
+    try:
+        stack.runtime.run_until(
+            lambda: nonfaulty <= completed, max_events=max_events
+        )
+        if reconstruct:
+            for pid in config.pids:
+                try:
+                    stack.vss[pid].svss_begin_reconstruct(sid)
+                except ProtocolError:
+                    continue
+            stack.runtime.run_until(
+                lambda: nonfaulty <= set(outputs), max_events=max_events
+            )
+    except DeadlockError:
+        pass
+    result = VSSResult(
+        config=config,
+        session=sid,
+        share_completed=completed,
+        outputs=outputs,
+        sim_time=stack.runtime.now,
+        trace=stack.trace,
+    )
+    return result, stack
+
+
+@dataclass
+class CoinResult:
+    """Outcome of one common-coin invocation."""
+
+    config: SystemConfig
+    outputs: dict[int, int]
+    sim_time: float
+    trace: Trace
+
+    def unanimous(self, pids: list[int]) -> bool:
+        return len({self.outputs[p] for p in pids if p in self.outputs}) == 1
+
+
+def flip_common_coin(
+    config: SystemConfig,
+    adversary: Adversary | None = None,
+    scheduler: Scheduler | None = None,
+    session: int = 0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> tuple[CoinResult, Stack]:
+    """Run one full SVSS-based shunning common coin invocation."""
+    config.require_optimal_resilience()
+    stack = build_stack(config, scheduler=scheduler, adversary=adversary)
+    coins = _make_coins(stack, "svss")
+    csid = ("cc", "solo", session)
+    outputs: dict[int, int] = {}
+    for pid in config.pids:
+        coins[pid].join(csid)
+        coins[pid].get(csid, lambda v, pid=pid: outputs.setdefault(pid, v))
+        coins[pid].release(csid)
+    nonfaulty = set(stack.nonfaulty())
+    try:
+        stack.runtime.run_until(
+            lambda: nonfaulty <= set(outputs), max_events=max_events
+        )
+    except DeadlockError:
+        pass
+    result = CoinResult(
+        config=config,
+        outputs=outputs,
+        sim_time=stack.runtime.now,
+        trace=stack.trace,
+    )
+    return result, stack
+
+
+__all__ = [
+    "AgreementResult",
+    "BOTTOM",
+    "CoinResult",
+    "Stack",
+    "VSSResult",
+    "build_stack",
+    "flip_common_coin",
+    "run_byzantine_agreement",
+    "run_mwsvss",
+    "run_svss",
+]

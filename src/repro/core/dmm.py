@@ -1,0 +1,237 @@
+"""DMM — the detection and message management protocol (paper §3.1, §3.3).
+
+One DMM instance runs per process for the lifetime of the scheme, filtering
+every VSS-level message before the MW-SVSS/SVSS logic sees it.  It decides,
+per message, whether to
+
+* **discard** it (sender is in ``D_i`` — known faulty),
+* **delay** it (the sender owes this process an expected reconstruct
+  broadcast from an earlier session — the shunning mechanism), or
+* **forward** it to the session logic.
+
+It also maintains the two expectation arrays:
+
+* ``ACK_i`` — tuples ``(j, l, c, x)``: as *dealer* of session ``(c, i)``,
+  process ``i`` expects confirmer ``j`` to eventually broadcast
+  ``f_l(j) = x`` during reconstruct (added at share step 7).
+* ``DEAL_i`` — tuples ``(j, c, l, x)``: as a *monitor*, ``i`` expects
+  confirmer ``j`` to broadcast ``f_i(j) = x`` in session ``(c, l)``
+  (added at share step 3, possibly removed at step 8).
+
+A broadcast conflicting with an expectation puts its sender in ``D_i``
+forever; a broadcast that simply never arrives leaves the expectation
+pending, which silently delays every later-session message from that sender
+— the paper's "a process might shun without ever knowing it".
+
+Implementation notes
+--------------------
+Reconstruct broadcasts are batched (one RB per process per session carrying
+the map ``{monitor: value}``; see DESIGN.md), so expectations are stored per
+``(sender, session)`` as per-monitor maps, and a batch missing an expected
+monitor entry leaves that expectation pending — identical semantics to a
+missing per-monitor broadcast.  Because a batch can arrive *before* the
+share-phase step that adds the matching expectation (the network is
+asynchronous), delivered batches are remembered and reconciled when an
+expectation is added.
+
+The delay rule only ever fires for sessions ``σ`` with ``σ →_i σ'``, and
+``→_i`` requires ``σ``'s reconstruct to have *completed* locally — so the
+filter keeps a per-sender index of exactly those ("armed") sessions.
+During the share phase pending expectations are plentiful but unarmed, and
+the filter stays O(1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+
+from repro.core.sessions import SessionClock
+
+#: verdicts of :meth:`DMM.filter_verdict`
+FORWARD = "forward"
+DELAY = "delay"
+DISCARD = "discard"
+
+
+class DMM:
+    """Detection and message management for one process."""
+
+    def __init__(
+        self,
+        pid: int,
+        clock: SessionClock,
+        on_shun: Callable[[int, tuple], None] | None = None,
+    ):
+        self.pid = pid
+        self.clock = clock
+        #: processes known faulty; all their VSS messages are discarded.
+        self.D: set[int] = set()
+        # ACK_i: (sender, session) -> {monitor: expected value}
+        self._ack: dict[tuple[int, tuple], dict[int, int]] = {}
+        # DEAL_i: (sender, session) -> expected value for monitor == self.pid
+        self._deal: dict[tuple[int, tuple], int] = {}
+        # live expectation counts: sender -> {session: count}
+        self._pending: defaultdict[int, dict[tuple, int]] = defaultdict(dict)
+        # senders with pending expectations, per session (for arming)
+        self._session_senders: defaultdict[tuple, set[int]] = defaultdict(set)
+        # deal-expectation senders per session (for step-8 removal)
+        self._deal_by_session: defaultdict[tuple, set[int]] = defaultdict(set)
+        # pending sessions whose reconstruct completed locally, per sender —
+        # the only ones the delay rule can fire on
+        self._armed: defaultdict[int, set[tuple]] = defaultdict(set)
+        self._completed_sessions: set[tuple] = set()
+        # reconstruct batches already seen: (sender, session) -> {monitor: value}
+        self._seen_batches: dict[tuple[int, tuple], dict[int, int]] = {}
+        self._on_shun = on_shun
+
+    # -- expectations ------------------------------------------------------
+    def expect_ack(self, sender: int, session: tuple, monitor: int, value: int) -> None:
+        """Dealer step 7: expect ``sender`` to broadcast ``f_monitor(sender)
+        = value`` during the reconstruct of ``session``."""
+        if sender in self.D or sender == self.pid:
+            return
+        seen = self._seen_batches.get((sender, session))
+        if seen is not None and monitor in seen:
+            if seen[monitor] != value:
+                self._detect(sender, session)
+            return
+        entries = self._ack.setdefault((sender, session), {})
+        if monitor not in entries:
+            entries[monitor] = value
+            self._inc_pending(sender, session)
+
+    def expect_deal(self, sender: int, session: tuple, value: int) -> None:
+        """Monitor step 3: expect ``sender`` to broadcast ``f_i(sender) =
+        value`` during the reconstruct of ``session``."""
+        if sender in self.D or sender == self.pid:
+            return
+        seen = self._seen_batches.get((sender, session))
+        if seen is not None and self.pid in seen:
+            if seen[self.pid] != value:
+                self._detect(sender, session)
+            return
+        if (sender, session) not in self._deal:
+            self._deal[(sender, session)] = value
+            self._deal_by_session[session].add(sender)
+            self._inc_pending(sender, session)
+
+    def drop_deal_expectations(self, session: tuple) -> None:
+        """Share step 8: this process is not in M̂, so nobody will broadcast
+        values of its monitored polynomial — forget those expectations."""
+        for sender in self._deal_by_session.pop(session, set()):
+            if self._deal.pop((sender, session), None) is not None:
+                self._dec_pending(sender, session)
+
+    def _inc_pending(self, sender: int, session: tuple) -> None:
+        per = self._pending[sender]
+        per[session] = per.get(session, 0) + 1
+        self._session_senders[session].add(sender)
+        if session in self._completed_sessions:
+            self._armed[sender].add(session)
+
+    def _dec_pending(self, sender: int, session: tuple, by: int = 1) -> None:
+        per = self._pending.get(sender)
+        if per is None or session not in per:
+            return
+        per[session] -= by
+        if per[session] <= 0:
+            del per[session]
+            self._session_senders.get(session, set()).discard(sender)
+            armed = self._armed.get(sender)
+            if armed is not None:
+                armed.discard(session)
+                if not armed:
+                    del self._armed[sender]
+            if not per:
+                del self._pending[sender]
+
+    # -- session lifecycle ---------------------------------------------------
+    def on_session_reconstructed(self, session: tuple) -> None:
+        """Arm still-pending expectations of a session that just completed
+        its reconstruct locally (it can now precede newer sessions)."""
+        self._completed_sessions.add(session)
+        for sender in self._session_senders.get(session, ()):
+            if session in self._pending.get(sender, ()):
+                self._armed[sender].add(session)
+
+    # -- reconstruct-broadcast checks ----------------------------------------
+    def check_reconstruct_batch(
+        self, sender: int, session: tuple, batch: dict[int, int]
+    ) -> None:
+        """DMM steps 2-3: compare a reconstruct broadcast against
+        expectations; matching entries clear, conflicting entries convict."""
+        if sender == self.pid:
+            return  # a process never suspects itself (cf. filter_verdict)
+        self._seen_batches[(sender, session)] = batch
+        ack_entries = self._ack.get((sender, session))
+        if ack_entries is not None:
+            cleared = 0
+            for monitor in list(ack_entries):
+                if monitor not in batch:
+                    continue  # still owed; expectation stays pending
+                if batch[monitor] == ack_entries[monitor]:
+                    del ack_entries[monitor]
+                    cleared += 1
+                else:
+                    self._detect(sender, session)
+                    return
+            if not ack_entries:
+                del self._ack[(sender, session)]
+            if cleared:
+                self._dec_pending(sender, session, cleared)
+        deal_key = (sender, session)
+        if deal_key in self._deal and self.pid in batch:
+            if batch[self.pid] == self._deal[deal_key]:
+                del self._deal[deal_key]
+                self._deal_by_session.get(session, set()).discard(sender)
+                self._dec_pending(sender, session)
+            else:
+                self._detect(sender, session)
+                return
+
+    def _detect(self, sender: int, session: tuple) -> None:
+        """Add ``sender`` to ``D_i`` (explicit detection)."""
+        if sender in self.D:
+            return
+        self.D.add(sender)
+        # Everything from a detected process is discarded from now on, so
+        # its expectations no longer gate anything.
+        for key in [k for k in self._ack if k[0] == sender]:
+            del self._ack[key]
+        for key in [k for k in self._deal if k[0] == sender]:
+            del self._deal[key]
+            self._deal_by_session.get(key[1], set()).discard(sender)
+        for stale in (self._pending.pop(sender, None) or {}):
+            self._session_senders.get(stale, set()).discard(sender)
+        self._armed.pop(sender, None)
+        if self._on_shun is not None:
+            self._on_shun(sender, session)
+
+    # -- the filter ------------------------------------------------------------
+    def filter_verdict(self, sender: int, session: tuple) -> str:
+        """Decide what to do with a VSS message from ``sender`` tagged with
+        ``session`` (DMM steps 4-5)."""
+        if sender == self.pid:
+            return FORWARD  # a process never filters itself
+        if sender in self.D:
+            return DISCARD
+        armed = self._armed.get(sender)
+        if armed:
+            clock = self.clock
+            for owed_session in armed:
+                if clock.precedes(owed_session, session):
+                    return DELAY
+        return FORWARD
+
+    # -- introspection -----------------------------------------------------------
+    def pending_sessions(self, sender: int) -> frozenset[tuple]:
+        return frozenset(self._pending.get(sender, ()))
+
+    def has_expectations(self, sender: int) -> bool:
+        return bool(self._pending.get(sender))
+
+    def shunned_or_suspected(self) -> set[int]:
+        """Processes in D plus processes with unmet expectations (the
+        "silent shun" set)."""
+        return set(self.D) | {s for s, p in self._pending.items() if p}

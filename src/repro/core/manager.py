@@ -1,0 +1,275 @@
+"""VSS manager: per-process session routing with DMM filtering.
+
+The manager owns a process' DMM, session clock, and every MW-SVSS/SVSS
+instance; it sits between the network/broadcast layer and the session logic
+exactly where §3.1 places the DMM ("before a process sees a message in the
+MW-SVSS protocol ... the message is filtered").  Messages the DMM delays
+are parked and re-examined whenever expectations are cleared; messages from
+convicted processes are discarded.
+
+Completion and output events are routed to *watchers* keyed by the session
+parent, which is how SVSS instances hear about their MW-SVSS children and
+how the common coin hears about its SVSS sharings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.broadcast.manager import BroadcastManager
+from repro.core.dmm import DELAY, DISCARD, DMM
+from repro.core.mwsvss import MWSVSSInstance
+from repro.core.sessions import SessionClock, is_mw, is_svss
+from repro.core.svss import SVSSInstance
+from repro.errors import ProtocolError
+from repro.sim.process import ProcessHost
+
+#: Message kinds carrying protocol *values* — the only ones the DMM
+#: delay/discard applies to.  Membership bookkeeping (acks, L/M/G sets, the
+#: dealer's OK) flows even from suspected processes: the §2 property proofs
+#: only ever require a shunned process' value contributions to be ignored,
+#: and filtering membership messages would let a faulty process that
+#: withholds one reconstruct broadcast permanently stall every later
+#: honest-dealer session it is admitted to (see DESIGN.md).
+VALUE_KINDS = frozenset({"shl", "mon", "mod", "cnf", "ms", "rv", "rows"})
+
+#: Transport enforcement: kinds whose consistency guarantees come from
+#: reliable broadcast must never be accepted over a private channel (a
+#: faulty dealer could otherwise equivocate, e.g. send different G sets to
+#: different processes), and vice versa.
+PRIVATE_KINDS = frozenset({"shl", "mon", "mod", "cnf", "ms", "rows"})
+RB_KINDS = frozenset({"ack", "L", "M", "ok", "rv", "G"})
+
+
+class CallbackWatcher:
+    """Adapter turning plain callables into a watcher object (for tests and
+    the solo-session API)."""
+
+    def __init__(
+        self,
+        on_mw_share_complete: Callable[[tuple], None] | None = None,
+        on_mw_output: Callable[[tuple, object], None] | None = None,
+        on_svss_share_complete: Callable[[tuple], None] | None = None,
+        on_svss_output: Callable[[tuple, object], None] | None = None,
+    ):
+        self._mw_complete = on_mw_share_complete
+        self._mw_output = on_mw_output
+        self._svss_complete = on_svss_share_complete
+        self._svss_output = on_svss_output
+
+    def on_mw_share_complete(self, sid: tuple) -> None:
+        if self._mw_complete is not None:
+            self._mw_complete(sid)
+
+    def on_mw_output(self, sid: tuple, value: object) -> None:
+        if self._mw_output is not None:
+            self._mw_output(sid, value)
+
+    def on_svss_share_complete(self, sid: tuple) -> None:
+        if self._svss_complete is not None:
+            self._svss_complete(sid)
+
+    def on_svss_output(self, sid: tuple, value: object) -> None:
+        if self._svss_output is not None:
+            self._svss_output(sid, value)
+
+
+class VSSManager:
+    """All VSS state of one process."""
+
+    def __init__(self, host: ProcessHost, broadcast: BroadcastManager):
+        self.host = host
+        self.config = host.runtime.config
+        self.pid = host.pid
+        self.n = self.config.n
+        self.t = self.config.t
+        self.field = self.config.field
+        self.clock = SessionClock()
+        self.dmm = DMM(self.pid, self.clock, on_shun=self._record_shun)
+        self.mw: dict[tuple, MWSVSSInstance] = {}
+        self.svss: dict[tuple, SVSSInstance] = {}
+        self._watchers: dict[object, object] = {}
+        self._delayed: deque[tuple[int, tuple, str, object]] = deque()
+        host.attach("vss", self)
+        host.register_handler("v", self._on_private)
+        broadcast.subscribe("vss", self._on_rb)
+        self._broadcast = broadcast
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def register_watcher(self, key: object, watcher: object) -> None:
+        if key in self._watchers:
+            raise ProtocolError(f"watcher for {key!r} already registered")
+        self._watchers[key] = watcher
+
+    def mw_share(self, sid: tuple, secret: int) -> None:
+        self._ensure_mw(sid).share(secret)
+
+    def mw_moderate(self, sid: tuple, expected: int) -> None:
+        self._ensure_mw(sid).moderate(expected)
+
+    def mw_begin_reconstruct(self, sid: tuple) -> None:
+        self._ensure_mw(sid).begin_reconstruct()
+
+    def svss_share(self, sid: tuple, secret: int) -> None:
+        self._ensure_svss(sid).share(secret)
+
+    def svss_begin_reconstruct(self, sid: tuple) -> None:
+        self._ensure_svss(sid).begin_reconstruct()
+
+    def rb_broadcast(self, sid: tuple, kind: str, body: object) -> None:
+        """RB-broadcast a VSS message of this session (canonical bid)."""
+        bid = (self.pid, "vss", sid, kind)
+        self._broadcast.broadcast(bid, ("vss", sid, kind, body))
+
+    # ------------------------------------------------------------------
+    # instance management
+    # ------------------------------------------------------------------
+    def _ensure_mw(self, sid: tuple) -> MWSVSSInstance:
+        inst = self.mw.get(sid)
+        if inst is None:
+            if not self._valid_mw_sid(sid):
+                raise ProtocolError(f"invalid MW-SVSS session id {sid!r}")
+            inst = MWSVSSInstance(self, sid)
+            self.mw[sid] = inst
+            self.clock.note_begin(sid)
+        return inst
+
+    def _ensure_svss(self, sid: tuple) -> SVSSInstance:
+        inst = self.svss.get(sid)
+        if inst is None:
+            if not self._valid_svss_sid(sid):
+                raise ProtocolError(f"invalid SVSS session id {sid!r}")
+            inst = SVSSInstance(self, sid)
+            self.svss[sid] = inst
+            self.clock.note_begin(sid)
+        return inst
+
+    def _valid_mw_sid(self, sid: tuple) -> bool:
+        return (
+            is_mw(sid)
+            and isinstance(sid[2], int)
+            and isinstance(sid[3], int)
+            and 1 <= sid[2] <= self.n
+            and 1 <= sid[3] <= self.n
+            and sid[4] in ("md", "dm")
+        )
+
+    def _valid_svss_sid(self, sid: tuple) -> bool:
+        return is_svss(sid) and isinstance(sid[2], int) and 1 <= sid[2] <= self.n
+
+    # ------------------------------------------------------------------
+    # message ingestion (network -> DMM -> session logic)
+    # ------------------------------------------------------------------
+    def _on_private(self, src: int, payload: tuple) -> None:
+        if len(payload) != 4 or payload[2] not in PRIVATE_KINDS:
+            return
+        self._ingest(src, payload[1], payload[2], payload[3])
+
+    def _on_rb(self, origin: int, value: tuple) -> None:
+        if len(value) != 4 or value[2] not in RB_KINDS:
+            return
+        self._ingest(origin, value[1], value[2], value[3])
+
+    def _ingest(self, src: int, sid: object, kind: object, body: object) -> None:
+        if not isinstance(kind, str):
+            return
+        if is_mw(sid):
+            if not self._valid_mw_sid(sid):
+                return
+        elif is_svss(sid):
+            if not self._valid_svss_sid(sid):
+                return
+        else:
+            return
+        # Creating the instance stamps the session's local begin, which is
+        # what makes →_i well-defined for the filter below.
+        self._ensure(sid)
+        if kind in VALUE_KINDS:
+            verdict = self.dmm.filter_verdict(src, sid)
+            if verdict == DISCARD:
+                return
+            if verdict == DELAY:
+                self._delayed.append((src, sid, kind, body))
+                return
+        self._dispatch(src, sid, kind, body)
+        self._release_delayed()
+
+    def _ensure(self, sid: tuple) -> None:
+        if is_mw(sid):
+            self._ensure_mw(sid)
+        else:
+            self._ensure_svss(sid)
+
+    def _dispatch(self, src: int, sid: tuple, kind: str, body: object) -> None:
+        if is_mw(sid):
+            inst = self._ensure_mw(sid)
+            if kind == "rv":
+                batch = inst._parse_rv(body)
+                if batch is not None:
+                    self.dmm.check_reconstruct_batch(src, sid, batch)
+                    if src in self.dmm.D:
+                        return  # convicted by this very message
+            inst.handle(src, kind, body)
+        else:
+            self._ensure_svss(sid).handle(src, kind, body)
+
+    def _release_delayed(self) -> None:
+        """Re-examine parked messages after DMM state changed."""
+        if not self._delayed:
+            return
+        progressed = True
+        while progressed and self._delayed:
+            progressed = False
+            still_delayed: deque = deque()
+            while self._delayed:
+                src, sid, kind, body = self._delayed.popleft()
+                verdict = self.dmm.filter_verdict(src, sid)
+                if verdict == DELAY:
+                    still_delayed.append((src, sid, kind, body))
+                elif verdict == DISCARD:
+                    progressed = True
+                else:
+                    self._dispatch(src, sid, kind, body)
+                    progressed = True
+            self._delayed = still_delayed
+
+    # ------------------------------------------------------------------
+    # event routing
+    # ------------------------------------------------------------------
+    def notify_mw_share_complete(self, sid: tuple) -> None:
+        parent = sid[1]
+        if is_svss(parent):
+            self._ensure_svss(parent).on_mw_share_complete(sid)
+        watcher = self._watchers.get(parent)
+        if watcher is not None:
+            watcher.on_mw_share_complete(sid)
+
+    def notify_mw_output(self, sid: tuple, value: object) -> None:
+        self.clock.note_complete(sid)
+        self.dmm.on_session_reconstructed(sid)
+        parent = sid[1]
+        if is_svss(parent):
+            self._ensure_svss(parent).on_mw_output(sid, value)
+        watcher = self._watchers.get(parent)
+        if watcher is not None:
+            watcher.on_mw_output(sid, value)
+        self._release_delayed()
+
+    def notify_svss_share_complete(self, sid: tuple) -> None:
+        watcher = self._watchers.get(sid[1])
+        if watcher is not None:
+            watcher.on_svss_share_complete(sid)
+
+    def notify_svss_output(self, sid: tuple, value: object) -> None:
+        self.clock.note_complete(sid)
+        watcher = self._watchers.get(sid[1])
+        if watcher is not None:
+            watcher.on_svss_output(sid, value)
+
+    def _record_shun(self, culprit: int, session: tuple) -> None:
+        self.host.runtime.trace.record_shun(
+            self.pid, culprit, session, self.host.runtime.now
+        )

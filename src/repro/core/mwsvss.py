@@ -1,0 +1,484 @@
+"""MW-SVSS — moderated weak shunning verifiable secret sharing (paper §3.2).
+
+One :class:`MWSVSSInstance` is one process' view of one MW-SVSS session
+``(c, dealer)`` with a designated moderator.  The share protocol ``S'`` and
+reconstruct protocol ``R'`` follow the paper step by step; comments carry
+the paper's step numbers.
+
+Wire messages (``sid`` is the session id):
+
+private (``("v", sid, kind, body)``):
+
+* ``"shl"`` dealer → j: the share vector ``(f_1(j), ..., f_n(j))``.
+* ``"mon"`` dealer → l: the monitor polynomial ``f_l`` as values
+  ``f_l(1..t+1)``.
+* ``"mod"`` dealer → moderator: ``f`` as values ``f(1..t+1)``.
+* ``"cnf"`` j → l: confirmation value ``f̂^j_l`` (j's share of ``f_l``).
+* ``"ms"``  j → moderator: ``f̂_j(0)`` (j's monitored point of ``f``).
+
+reliable broadcast (``("vss", sid, kind, body)``):
+
+* ``"ack"`` — step 2 public acknowledgement.
+* ``"L"``   — step 4, the frozen confirmer set ``L_j``.
+* ``"M"``   — step 6, the moderator's frozen monitor set ``M``.
+* ``"ok"``  — step 7, the dealer's go-ahead.
+* ``"rv"``  — reconstruct step 1, batched values ``((monitor, value), ...)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.sessions import mw_dealer, mw_moderator
+from repro.errors import ProtocolError
+from repro.poly.univariate import (
+    Polynomial,
+    interpolate_degree_t,
+    lagrange_interpolate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import VSSManager
+
+
+class _Bottom:
+    """The default value ⊥ of weak binding (paper §2.2)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = _Bottom()
+
+
+class MWSVSSInstance:
+    """One process' state machine for one MW-SVSS session."""
+
+    def __init__(self, manager: "VSSManager", sid: tuple):
+        self.manager = manager
+        self.sid = sid
+        self.pid = manager.pid
+        self.n = manager.n
+        self.t = manager.t
+        self.field = manager.field
+        self.dealer = mw_dealer(sid)
+        self.moderator = mw_moderator(sid)
+
+        # step 1-2 inputs
+        self.share_vector: tuple[int, ...] | None = None  # (f̂^j_1 .. f̂^j_n)
+        self.monitor_poly: Polynomial | None = None  # f̂_j
+        self._step2_done = False
+
+        # step 3-4 (monitor bookkeeping)
+        self.confirm_values: dict[int, int] = {}  # l -> f̂^l_j (first wins)
+        self.acks: set[int] = set()  # processes whose ack RB-delivered
+        self.L: set[int] = set()
+        self.L_frozen = False
+        # step 8 applies from the moment M̂ excludes us: no further DEAL
+        # expectations may be recorded for this session (a late confirmer's
+        # expectation could never be discharged — see Lemma 1(b)).
+        self._deal_suppressed = False
+
+        # moderator state
+        self.moderator_poly: Polynomial | None = None  # f̂ from the dealer
+        self.moderator_expected: int | None = None  # s' (set via moderate())
+        self.moderator_shares: dict[int, int] = {}  # j -> f̂^j_0
+        self.M: set[int] = set()
+        self.M_frozen = False
+
+        # broadcast sets received
+        self.L_hat: dict[int, frozenset[int]] = {}
+        self.M_hat: frozenset[int] | None = None
+        self.ok_received = False
+
+        # dealer state
+        self._deal_polys: list[Polynomial] | None = None  # [f, f_1, ..., f_n]
+        self._dealer_acked = False  # step 7 done
+
+        self.share_completed = False
+
+        # reconstruct state
+        self.reconstruct_begun = False
+        self._rv_sent = False
+        self.rv_batches: dict[int, dict[int, int]] = {}  # sender -> batch
+        self.K: dict[int, list[tuple[int, int]]] = {}  # monitor l -> points
+        self.f_bar: dict[int, Polynomial] = {}  # monitor l -> interpolated f̄_l
+        self.output: int | _Bottom | None = None
+
+    # ------------------------------------------------------------------
+    # local API
+    # ------------------------------------------------------------------
+    def share(self, secret: int) -> None:
+        """Dealer step 1: draw the polynomials and distribute the shares."""
+        if self.pid != self.dealer:
+            raise ProtocolError(f"{self.pid} is not the dealer of {self.sid}")
+        if self._deal_polys is not None:
+            raise ProtocolError(f"share already initiated for {self.sid}")
+        field = self.field
+        rng = self.manager.config.derive_rng("mw-deal", self.sid)
+        f = Polynomial.random(field, self.t, rng, constant_term=secret)
+        sub = [
+            Polynomial.random(field, self.t, rng, constant_term=f(l))
+            for l in range(1, self.n + 1)
+        ]
+        self._deal_polys = [f] + sub
+
+        host = self.manager.host
+        corrupt_values = host.deviation("corrupt_mw_share_values")
+        eval_points = list(range(1, self.t + 2))
+        for j in range(1, self.n + 1):
+            values = [sub[l - 1](j) for l in range(1, self.n + 1)]
+            if corrupt_values is not None:
+                values = corrupt_values(self.sid, j, values, field.prime)
+            host.send(j, ("v", self.sid, "shl", tuple(values)), "vss")
+        for l in range(1, self.n + 1):
+            mon = tuple(sub[l - 1](x) for x in eval_points)
+            host.send(l, ("v", self.sid, "mon", mon), "vss")
+        host.send(
+            self.moderator,
+            ("v", self.sid, "mod", tuple(f(x) for x in eval_points)),
+            "vss",
+        )
+
+    def moderate(self, expected: int) -> None:
+        """Install the moderator's input value ``s'`` (enables step 5)."""
+        if self.pid != self.moderator:
+            raise ProtocolError(f"{self.pid} is not the moderator of {self.sid}")
+        if self.moderator_expected is not None:
+            return
+        self.moderator_expected = expected % self.field.prime
+        self._recheck_moderator()
+
+    def begin_reconstruct(self) -> None:
+        """Start protocol R' (requires a locally completed share)."""
+        if not self.share_completed:
+            raise ProtocolError(f"share of {self.sid} not complete at {self.pid}")
+        if self.reconstruct_begun:
+            return
+        self.reconstruct_begun = True
+        self._send_reconstruct_values()
+        self._consume_rv_batches()
+        self._maybe_output()
+
+    # ------------------------------------------------------------------
+    # message handling (post-DMM)
+    # ------------------------------------------------------------------
+    def handle(self, src: int, kind: str, body: object) -> None:
+        if kind == "shl":
+            self._on_share_vector(src, body)
+        elif kind == "mon":
+            self._on_monitor_poly(src, body)
+        elif kind == "mod":
+            self._on_moderator_poly(src, body)
+        elif kind == "cnf":
+            self._on_confirm(src, body)
+        elif kind == "ms":
+            self._on_moderator_share(src, body)
+        elif kind == "ack":
+            self._on_ack(src)
+        elif kind == "L":
+            self._on_l_set(src, body)
+        elif kind == "M":
+            self._on_m_set(src, body)
+        elif kind == "ok":
+            self._on_ok(src)
+        elif kind == "rv":
+            self._on_reconstruct_values(src, body)
+
+    # -- share phase -----------------------------------------------------
+    def _on_share_vector(self, src: int, body: object) -> None:
+        if src != self.dealer or self.share_vector is not None:
+            return
+        if not self._is_value_tuple(body, self.n):
+            return
+        self.share_vector = tuple(body)
+        self._maybe_step2()
+
+    def _on_monitor_poly(self, src: int, body: object) -> None:
+        if src != self.dealer or self.monitor_poly is not None:
+            return
+        if not self._is_value_tuple(body, self.t + 1):
+            return
+        points = list(zip(range(1, self.t + 2), body))
+        self.monitor_poly = lagrange_interpolate(self.field, points)
+        self._maybe_step2()
+        for l in list(self.confirm_values):
+            self._maybe_step3(l)
+
+    def _maybe_step2(self) -> None:
+        """Step 2: confirm privately to every monitor and ack publicly."""
+        if self._step2_done or self.share_vector is None or self.monitor_poly is None:
+            return
+        self._step2_done = True
+        host = self.manager.host
+        corrupt = host.deviation("corrupt_mw_confirm_value")
+        for l in range(1, self.n + 1):
+            value = self.share_vector[l - 1]
+            if corrupt is not None:
+                value = corrupt(self.sid, l, value, self.field.prime)
+            host.send(l, ("v", self.sid, "cnf", value), "vss")
+        self.manager.rb_broadcast(self.sid, "ack", None)
+
+    def _on_confirm(self, src: int, body: object) -> None:
+        if not self.field.is_element(body) or src in self.confirm_values:
+            return
+        self.confirm_values[src] = body
+        self._maybe_step3(src)
+
+    def _on_ack(self, src: int) -> None:
+        if src in self.acks:
+            return
+        self.acks.add(src)
+        self._maybe_step3(src)
+        if self.pid == self.moderator:
+            self._recheck_moderator()
+        self._maybe_step7()
+        self._maybe_complete_share()
+
+    def _maybe_step3(self, l: int) -> None:
+        """Step 3: record confirmer ``l`` if its value matches ``f̂_j(l)``.
+
+        Additions stop once ``L_j`` is frozen by its broadcast (step 4) —
+        the reconstruct duty map is derived from the broadcast sets, so
+        later additions could never be cleared (see DESIGN.md).
+        """
+        if self.L_frozen or self.monitor_poly is None:
+            return
+        if l in self.L or l not in self.confirm_values or l not in self.acks:
+            return
+        expected = self.monitor_poly(l)
+        if self.confirm_values[l] != expected:
+            return
+        self.L.add(l)
+        if not self._deal_suppressed:
+            self.manager.dmm.expect_deal(l, self.sid, expected)
+        if len(self.L) >= self.n - self.t:
+            self._freeze_l()
+
+    def _freeze_l(self) -> None:
+        """Step 4: broadcast ``L_j`` and send ``f̂_j(0)`` to the moderator."""
+        self.L_frozen = True
+        self.manager.rb_broadcast(self.sid, "L", tuple(sorted(self.L)))
+        self.manager.host.send(
+            self.moderator,
+            ("v", self.sid, "ms", self.monitor_poly(0)),
+            "vss",
+        )
+
+    # -- moderator ---------------------------------------------------------
+    def _on_moderator_poly(self, src: int, body: object) -> None:
+        if src != self.dealer or self.pid != self.moderator:
+            return
+        if self.moderator_poly is not None or not self._is_value_tuple(body, self.t + 1):
+            return
+        points = list(zip(range(1, self.t + 2), body))
+        self.moderator_poly = lagrange_interpolate(self.field, points)
+        self._recheck_moderator()
+
+    def _on_moderator_share(self, src: int, body: object) -> None:
+        if self.pid != self.moderator or not self.field.is_element(body):
+            return
+        if src in self.moderator_shares:
+            return
+        self.moderator_shares[src] = body
+        self._recheck_moderator(only=src)
+
+    def _recheck_moderator(self, only: int | None = None) -> None:
+        """Step 5: admit monitors whose data matches ``f̂`` and ``s'``."""
+        if self.pid != self.moderator or self.M_frozen:
+            return
+        if self.moderator_poly is None or self.moderator_expected is None:
+            return
+        if self.moderator_poly(0) != self.moderator_expected:
+            return  # dealer's f disagrees with s' — never admit anyone
+        candidates = [only] if only is not None else list(self.moderator_shares)
+        for j in candidates:
+            if j in self.M or j not in self.moderator_shares:
+                continue
+            l_hat = self.L_hat.get(j)
+            if l_hat is None or not l_hat <= self.acks:
+                continue
+            if self.moderator_shares[j] != self.moderator_poly(j):
+                continue
+            self.M.add(j)
+            if self.M_frozen:
+                break
+            if len(self.M) >= self.n - self.t:
+                self._freeze_m()
+                break
+
+    def _freeze_m(self) -> None:
+        """Step 6: broadcast the frozen monitor set ``M``."""
+        self.M_frozen = True
+        m_set = tuple(sorted(self.M))
+        corrupt = self.manager.host.deviation("corrupt_mw_M")
+        if corrupt is not None:
+            m_set = tuple(corrupt(self.sid, m_set))
+        self.manager.rb_broadcast(self.sid, "M", m_set)
+
+    # -- broadcast sets ------------------------------------------------------
+    def _on_l_set(self, src: int, body: object) -> None:
+        if src in self.L_hat or not self._is_pid_tuple(body):
+            return
+        if len(body) < self.n - self.t:
+            return
+        self.L_hat[src] = frozenset(body)
+        if self.pid == self.moderator:
+            self._recheck_moderator(only=src)
+        self._maybe_step7()
+        self._maybe_complete_share()
+        self._consume_rv_batches()
+        self._maybe_output()
+
+    def _on_m_set(self, src: int, body: object) -> None:
+        if src != self.moderator or self.M_hat is not None:
+            return
+        if not self._is_pid_tuple(body) or len(body) < self.n - self.t:
+            return
+        self.M_hat = frozenset(body)
+        # Step 8: not being in M̂ means nobody will reconstruct our
+        # monitored polynomial — drop the matching expectations and stop
+        # recording new ones (reconstruct broadcasts only cover M̂ members,
+        # so a late confirmer's expectation could never be discharged).
+        if self.pid not in self.M_hat:
+            self._deal_suppressed = True
+            self.manager.dmm.drop_deal_expectations(self.sid)
+        self._maybe_step7()
+        self._maybe_complete_share()
+        self._consume_rv_batches()
+        self._maybe_output()
+
+    def _on_ok(self, src: int) -> None:
+        if src != self.dealer or self.ok_received:
+            return
+        self.ok_received = True
+        self._maybe_complete_share()
+
+    # -- dealer step 7 ------------------------------------------------------------
+    def _maybe_step7(self) -> None:
+        if self.pid != self.dealer or self._dealer_acked:
+            return
+        if self._deal_polys is None or self.M_hat is None:
+            return
+        for j in self.M_hat:
+            l_hat = self.L_hat.get(j)
+            if l_hat is None or not l_hat <= self.acks:
+                return
+        self._dealer_acked = True
+        dmm = self.manager.dmm
+        for j in self.M_hat:
+            f_j = self._deal_polys[j]
+            for l in self.L_hat[j]:
+                dmm.expect_ack(l, self.sid, j, f_j(l))
+        if self.manager.host.deviation("skip_mw_ok") is not None:
+            return
+        self.manager.rb_broadcast(self.sid, "ok", None)
+
+    # -- step 9 -----------------------------------------------------------------
+    def _maybe_complete_share(self) -> None:
+        if self.share_completed or not self.ok_received or self.M_hat is None:
+            return
+        for l in self.M_hat:
+            l_hat = self.L_hat.get(l)
+            if l_hat is None or not l_hat <= self.acks:
+                return
+        self.share_completed = True
+        self.manager.notify_mw_share_complete(self.sid)
+
+    # ------------------------------------------------------------------
+    # reconstruct protocol R'
+    # ------------------------------------------------------------------
+    def _send_reconstruct_values(self) -> None:
+        """R' step 1: broadcast our dealer-given share of ``f_l`` for every
+        monitor ``l ∈ M̂`` whose broadcast confirmer set contains us."""
+        if self._rv_sent or self.share_vector is None:
+            return
+        batch = {}
+        for l in self.M_hat or ():
+            members = self.L_hat.get(l)
+            if members is not None and self.pid in members:
+                batch[l] = self.share_vector[l - 1]
+        if not batch:
+            return
+        self._rv_sent = True
+        corrupt = self.manager.host.deviation("corrupt_mw_reconstruct_values")
+        if corrupt is not None:
+            batch = corrupt(self.sid, batch, self.field.prime)
+        self.manager.rb_broadcast(self.sid, "rv", tuple(sorted(batch.items())))
+
+    def _on_reconstruct_values(self, src: int, body: object) -> None:
+        batch = self._parse_rv(body)
+        if batch is None or src in self.rv_batches:
+            return
+        self.rv_batches[src] = batch
+        self._consume_rv_batches()
+        self._maybe_output()
+
+    def _parse_rv(self, body: object) -> dict[int, int] | None:
+        if not isinstance(body, tuple):
+            return None
+        batch: dict[int, int] = {}
+        for item in body:
+            if (
+                not isinstance(item, tuple)
+                or len(item) != 2
+                or not isinstance(item[0], int)
+                or not (1 <= item[0] <= self.n)
+                or not self.field.is_element(item[1])
+            ):
+                return None
+            batch[item[0]] = item[1]
+        return batch
+
+    def _consume_rv_batches(self) -> None:
+        """R' steps 2-3: gather t+1 points per monitor, then interpolate."""
+        if self.M_hat is None:
+            return
+        for sender, batch in self.rv_batches.items():
+            for l, value in batch.items():
+                if l not in self.M_hat:
+                    continue
+                members = self.L_hat.get(l)
+                if members is None or sender not in members:
+                    continue
+                points = self.K.setdefault(l, [])
+                if len(points) > self.t or any(k == sender for k, _ in points):
+                    continue
+                points.append((sender, value))
+                if len(points) == self.t + 1 and l not in self.f_bar:
+                    self.f_bar[l] = lagrange_interpolate(self.field, points)
+
+    def _maybe_output(self) -> None:
+        """R' step 4: interpolate ``f̄`` through the monitors' free terms."""
+        if self.output is not None or not self.reconstruct_begun:
+            return
+        if self.M_hat is None or any(l not in self.f_bar for l in self.M_hat):
+            return
+        points = [(l, self.f_bar[l](0)) for l in sorted(self.M_hat)]
+        f_bar = interpolate_degree_t(self.field, points, self.t)
+        self.output = f_bar(0) if f_bar is not None else BOTTOM
+        self.manager.notify_mw_output(self.sid, self.output)
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _is_value_tuple(self, body: object, length: int) -> bool:
+        return (
+            isinstance(body, tuple)
+            and len(body) == length
+            and all(self.field.is_element(v) for v in body)
+        )
+
+    def _is_pid_tuple(self, body: object) -> bool:
+        return (
+            isinstance(body, tuple)
+            and len(set(body)) == len(body)
+            and all(isinstance(p, int) and 1 <= p <= self.n for p in body)
+        )

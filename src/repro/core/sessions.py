@@ -1,0 +1,88 @@
+"""Session identifiers and the per-process session partial order ``→_i``.
+
+The paper (§2) tags every VSS invocation with a session id and defines
+``(c, i) →_j (c', i')`` iff process ``j`` completed the reconstruct of
+session ``(c, i)`` before it began the share of session ``(c', i')``.  The
+DMM delay rule is expressed in terms of this order.
+
+Session ids here are hashable tuples:
+
+* MW-SVSS: ``("mw", parent, dealer, moderator, slot)`` — ``parent`` ties the
+  invocation to its enclosing SVSS session (or ``("solo", c)`` for direct
+  use); ``slot`` distinguishes the two dealings per ordered pair in SVSS
+  (``"dm"`` shares ``f(dealer, moderator)``, ``"md"`` shares
+  ``f(moderator, dealer)``).
+* SVSS: ``("svss", tag, dealer)`` — ``tag`` is the caller's context (a
+  counter, or ``(coin_session, slot)`` inside the common coin).
+"""
+
+from __future__ import annotations
+
+MW = "mw"
+SVSS = "svss"
+
+
+def mw_session(parent: tuple, dealer: int, moderator: int, slot: str) -> tuple:
+    return (MW, parent, dealer, moderator, slot)
+
+
+def svss_session(tag: object, dealer: int) -> tuple:
+    return (SVSS, tag, dealer)
+
+
+def mw_dealer(sid: tuple) -> int:
+    return sid[2]
+
+
+def mw_moderator(sid: tuple) -> int:
+    return sid[3]
+
+
+def svss_dealer(sid: tuple) -> int:
+    return sid[2]
+
+
+def is_mw(sid: tuple) -> bool:
+    return isinstance(sid, tuple) and len(sid) == 5 and sid[0] == MW
+
+
+def is_svss(sid: tuple) -> bool:
+    return isinstance(sid, tuple) and len(sid) == 3 and sid[0] == SVSS
+
+
+class SessionClock:
+    """Monotone per-process event clock recording session begin/complete.
+
+    ``begin`` is stamped when the process first participates in a session's
+    share protocol (initiation or first delivered message); ``complete`` is
+    stamped when the process completes the session's reconstruct.  These two
+    stamps define ``→_i`` exactly as §2 does.
+    """
+
+    __slots__ = ("_tick", "begun", "completed")
+
+    def __init__(self) -> None:
+        self._tick = 0
+        self.begun: dict[tuple, int] = {}
+        self.completed: dict[tuple, int] = {}
+
+    def _next(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def note_begin(self, sid: tuple) -> None:
+        if sid not in self.begun:
+            self.begun[sid] = self._next()
+
+    def note_complete(self, sid: tuple) -> None:
+        if sid not in self.completed:
+            self.completed[sid] = self._next()
+
+    def precedes(self, first: tuple, second: tuple) -> bool:
+        """``first →_i second``: reconstruct of ``first`` completed before
+        the share of ``second`` began (both locally)."""
+        done = self.completed.get(first)
+        if done is None:
+            return False
+        begun = self.begun.get(second)
+        return begun is not None and done < begun

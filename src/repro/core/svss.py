@@ -1,0 +1,348 @@
+"""SVSS — shunning verifiable secret sharing (paper §4).
+
+The dealer shares a random degree-(t, t) bivariate polynomial ``f`` with
+``f(0, 0) = s``.  Every ordered pair of processes ``(j, l)`` runs two
+MW-SVSS invocations with ``j`` as dealer and ``l`` as moderator — one for
+``f(j, l)`` (slot ``"dm"``) and one for ``f(l, j)`` (slot ``"md"``) — so
+each matrix entry is dealt twice (once by each side of the pair), giving
+the "if either is nonfaulty" leverage of the binding/validity proofs.
+
+Wire messages:
+
+* private ``("v", sid, "rows", (g_values, h_values))`` — dealer hands
+  process ``j`` its row ``g_j = f(j, ·)`` and column ``h_j = f(·, j)`` as
+  ``t+1`` evaluation points each.
+* RB ``("vss", sid, "G", (G, ((j, G_j), ...)))`` — share step 5.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.mwsvss import BOTTOM
+from repro.core.sessions import mw_session, svss_dealer
+from repro.errors import ProtocolError
+from repro.poly.bivariate import BivariatePolynomial
+from repro.poly.univariate import (
+    Polynomial,
+    interpolate_degree_t,
+    lagrange_interpolate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import VSSManager
+
+_SLOTS = ("md", "dm")
+
+
+def pair_sessions(parent: tuple, j: int, l: int) -> list[tuple]:
+    """The four MW-SVSS session ids of the unordered pair ``{j, l}``."""
+    return [
+        mw_session(parent, j, l, "md"),
+        mw_session(parent, j, l, "dm"),
+        mw_session(parent, l, j, "md"),
+        mw_session(parent, l, j, "dm"),
+    ]
+
+
+class SVSSInstance:
+    """One process' state machine for one SVSS session."""
+
+    def __init__(self, manager: "VSSManager", sid: tuple):
+        self.manager = manager
+        self.sid = sid
+        self.pid = manager.pid
+        self.n = manager.n
+        self.t = manager.t
+        self.field = manager.field
+        self.dealer = svss_dealer(sid)
+
+        # step-2 inputs: our row g and column h
+        self.g: Polynomial | None = None
+        self.h: Polynomial | None = None
+
+        # dealer-only state
+        self._bivar: BivariatePolynomial | None = None
+        self._pair_done: dict[frozenset[int], set[tuple]] = {}
+        self.G_map: dict[int, set[int]] = {}
+        self.G: set[int] = set()
+        self.G_frozen = False
+
+        # broadcast structure
+        self.G_hat: tuple[int, ...] | None = None
+        self.G_hat_map: dict[int, tuple[int, ...]] = {}
+
+        # local MW progress (only sessions parented by this sid)
+        self.mw_completed: set[tuple] = set()
+        self.mw_outputs: dict[tuple, object] = {}
+
+        self.share_completed = False
+        self.reconstruct_begun = False
+        self.ignored: set[int] | None = None  # I_j, fixed at output time
+        self.output: object | None = None
+
+    # ------------------------------------------------------------------
+    # local API
+    # ------------------------------------------------------------------
+    def share(self, secret: int) -> None:
+        """Dealer step 1: draw the bivariate polynomial, distribute rows."""
+        if self.pid != self.dealer:
+            raise ProtocolError(f"{self.pid} is not the dealer of {self.sid}")
+        if self._bivar is not None:
+            raise ProtocolError(f"share already initiated for {self.sid}")
+        rng = self.manager.config.derive_rng("svss-deal", self.sid)
+        self._bivar = BivariatePolynomial.random(self.field, self.t, rng, secret=secret)
+        host = self.manager.host
+        corrupt = host.deviation("corrupt_svss_rows")
+        xs = list(range(1, self.t + 2))
+        for j in range(1, self.n + 1):
+            g_j = self._bivar.row(j)
+            h_j = self._bivar.column(j)
+            row_vals = [g_j(x) for x in xs]
+            col_vals = [h_j(x) for x in xs]
+            if corrupt is not None:
+                row_vals, col_vals = corrupt(
+                    self.sid, j, row_vals, col_vals, self.field.prime
+                )
+            host.send(
+                j,
+                ("v", self.sid, "rows", (tuple(row_vals), tuple(col_vals))),
+                "vss",
+            )
+
+    def begin_reconstruct(self) -> None:
+        """Protocol R step 1: reconstruct all pair invocations in Ĝ."""
+        if not self.share_completed:
+            raise ProtocolError(f"share of {self.sid} not complete at {self.pid}")
+        if self.reconstruct_begun:
+            return
+        self.reconstruct_begun = True
+        for k in self.G_hat or ():
+            for l in self.G_hat_map[k]:
+                for mw_sid in pair_sessions(self.sid, k, l):
+                    self.manager.mw_begin_reconstruct(mw_sid)
+        self._maybe_output()
+
+    # ------------------------------------------------------------------
+    # message handling (post-DMM)
+    # ------------------------------------------------------------------
+    def handle(self, src: int, kind: str, body: object) -> None:
+        if kind == "rows":
+            self._on_rows(src, body)
+        elif kind == "G":
+            self._on_g_sets(src, body)
+
+    def _on_rows(self, src: int, body: object) -> None:
+        if src != self.dealer or self.g is not None:
+            return
+        if (
+            not isinstance(body, tuple)
+            or len(body) != 2
+            or not all(self._is_value_tuple(part) for part in body)
+        ):
+            return
+        xs = list(range(1, self.t + 2))
+        self.g = lagrange_interpolate(self.field, list(zip(xs, body[0])))
+        self.h = lagrange_interpolate(self.field, list(zip(xs, body[1])))
+        self._participate()
+
+    def _participate(self) -> None:
+        """Step 2: enter the four MW-SVSS invocations with every peer.
+
+        As dealer we share ``f(l, j) = h_j(l)`` (slot md) and
+        ``f(j, l) = g_j(l)`` (slot dm); as moderator for peer ``l`` we
+        expect ``f(j, l) = g_j(l)`` (slot md, since we are the moderator)
+        and ``f(l, j) = h_j(l)`` (slot dm).
+
+        Deviation from the paper's literal text (which pairs ``l != j``):
+        the *self-pair* ``l = j`` is included — its two degenerate
+        invocations share ``f(j, j)`` with ``j`` moderating itself.
+        Without it, ``|G_j| >= n - t`` is unreachable whenever ``t``
+        processes stay silent (each honest process has only ``n - t - 1``
+        live partners), so Validity of Termination would fail in exactly
+        the runs it must cover.  All the §4 proofs go through unchanged:
+        ``G_k`` still provides ``>= n - t`` evaluation points per row with
+        ``>= t + 1`` of them honest.  See DESIGN.md.
+        """
+        j = self.pid
+        mgr = self.manager
+        for l in range(1, self.n + 1):
+            mgr.mw_share(mw_session(self.sid, j, l, "md"), self.h(l))
+            mgr.mw_share(mw_session(self.sid, j, l, "dm"), self.g(l))
+            mgr.mw_moderate(mw_session(self.sid, l, j, "md"), self.g(l))
+            mgr.mw_moderate(mw_session(self.sid, l, j, "dm"), self.h(l))
+
+    # -- dealer bookkeeping (steps 3-5) --------------------------------------
+    def on_mw_share_complete(self, mw_sid: tuple) -> None:
+        self.mw_completed.add(mw_sid)
+        if self.pid == self.dealer and not self.G_frozen:
+            self._dealer_track_pair(mw_sid)
+        self._maybe_complete_share()
+
+    def _dealer_track_pair(self, mw_sid: tuple) -> None:
+        _, _, mw_dealer_pid, mw_mod_pid, _ = mw_sid
+        pair = frozenset((mw_dealer_pid, mw_mod_pid))
+        done = self._pair_done.setdefault(pair, set())
+        done.add(mw_sid)
+        # self-pairs have two distinct invocations, proper pairs have four
+        if len(done) < (2 if len(pair) == 1 else 4):
+            return
+        if len(pair) == 1:
+            j = l = next(iter(pair))
+        else:
+            j, l = sorted(pair)
+        self.G_map.setdefault(j, set()).add(l)
+        self.G_map.setdefault(l, set()).add(j)
+        for member in (j, l):
+            if member not in self.G and len(self.G_map[member]) >= self.n - self.t:
+                self.G.add(member)
+        if len(self.G) >= self.n - self.t:
+            self._freeze_g()
+
+    def _freeze_g(self) -> None:
+        """Step 5: broadcast ``G`` and its per-member confirmation sets."""
+        self.G_frozen = True
+        g_sorted = tuple(sorted(self.G))
+        body = (
+            g_sorted,
+            tuple((j, tuple(sorted(self.G_map[j]))) for j in g_sorted),
+        )
+        self.manager.rb_broadcast(self.sid, "G", body)
+
+    # -- step 6 ------------------------------------------------------------------
+    def _on_g_sets(self, src: int, body: object) -> None:
+        if src != self.dealer or self.G_hat is not None:
+            return
+        parsed = self._parse_g_sets(body)
+        if parsed is None:
+            return
+        self.G_hat, self.G_hat_map = parsed
+        self._maybe_complete_share()
+
+    def _parse_g_sets(
+        self, body: object
+    ) -> tuple[tuple[int, ...], dict[int, tuple[int, ...]]] | None:
+        if not isinstance(body, tuple) or len(body) != 2:
+            return None
+        g_set, per_member = body
+        if not self._is_pid_tuple(g_set) or len(g_set) < self.n - self.t:
+            return None
+        if not isinstance(per_member, tuple) or len(per_member) != len(g_set):
+            return None
+        g_map: dict[int, tuple[int, ...]] = {}
+        for item in per_member:
+            if not isinstance(item, tuple) or len(item) != 2:
+                return None
+            j, members = item
+            if j not in g_set or not self._is_pid_tuple(members):
+                return None
+            if len(members) < self.n - self.t:
+                return None
+            g_map[j] = members
+        if set(g_map) != set(g_set):
+            return None
+        return tuple(g_set), g_map
+
+    def _maybe_complete_share(self) -> None:
+        if self.share_completed or self.G_hat is None:
+            return
+        for j in self.G_hat:
+            for l in self.G_hat_map[j]:
+                for mw_sid in pair_sessions(self.sid, j, l):
+                    if mw_sid not in self.mw_completed:
+                        return
+        self.share_completed = True
+        self.manager.notify_svss_share_complete(self.sid)
+
+    # ------------------------------------------------------------------
+    # reconstruct (steps 2-3 of R)
+    # ------------------------------------------------------------------
+    def on_mw_output(self, mw_sid: tuple, value: object) -> None:
+        self.mw_outputs[mw_sid] = value
+        self._maybe_output()
+
+    def _maybe_output(self) -> None:
+        if self.output is not None or not self.reconstruct_begun:
+            return
+        if self.G_hat is None:
+            return
+        # Need the two dealer-k invocations of every (k, l) pair.
+        for k in self.G_hat:
+            for l in self.G_hat_map[k]:
+                if mw_session(self.sid, k, l, "dm") not in self.mw_outputs:
+                    return
+                if mw_session(self.sid, k, l, "md") not in self.mw_outputs:
+                    return
+        self._compute_output()
+
+    def _compute_output(self) -> None:
+        # Step 2: the ignore set I_j.
+        ignored: set[int] = set()
+        rows: dict[int, Polynomial] = {}
+        cols: dict[int, Polynomial] = {}
+        for k in self.G_hat:
+            row_points = []  # (l, r_{k,k,l}) ~ g_k(l) = f(k, l)
+            col_points = []  # (l, r_{k,l,k}) ~ h_k(l) = f(l, k)
+            broken = False
+            for l in self.G_hat_map[k]:
+                r_kkl = self.mw_outputs[mw_session(self.sid, k, l, "dm")]
+                r_klk = self.mw_outputs[mw_session(self.sid, k, l, "md")]
+                if r_kkl is BOTTOM or r_klk is BOTTOM:
+                    broken = True
+                    break
+                row_points.append((l, r_kkl))
+                col_points.append((l, r_klk))
+            if broken:
+                ignored.add(k)
+                continue
+            g_k = interpolate_degree_t(self.field, row_points, self.t)
+            h_k = interpolate_degree_t(self.field, col_points, self.t)
+            if g_k is None or h_k is None:
+                ignored.add(k)
+                continue
+            rows[k] = g_k
+            cols[k] = h_k
+        self.ignored = ignored
+        survivors = [k for k in self.G_hat if k not in ignored]
+
+        # Step 3: cross-consistency and bivariate interpolation.
+        for k in survivors:
+            for l in survivors:
+                if cols[k](l) != rows[l](k):
+                    self._finish(BOTTOM)
+                    return
+        if len(survivors) < self.t + 1:
+            self._finish(BOTTOM)
+            return
+        head = survivors[: self.t + 1]
+        f_bar = BivariatePolynomial.from_rows(
+            self.field, self.t, [(k, rows[k]) for k in head]
+        )
+        for k in survivors:
+            for l in survivors:
+                value = f_bar(k, l)
+                if value != rows[k](l) or value != cols[l](k):
+                    self._finish(BOTTOM)
+                    return
+        self._finish(f_bar.secret)
+
+    def _finish(self, value: object) -> None:
+        self.output = value
+        self.manager.notify_svss_output(self.sid, value)
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _is_value_tuple(self, body: object) -> bool:
+        return (
+            isinstance(body, tuple)
+            and len(body) == self.t + 1
+            and all(self.field.is_element(v) for v in body)
+        )
+
+    def _is_pid_tuple(self, body: object) -> bool:
+        return (
+            isinstance(body, tuple)
+            and len(set(body)) == len(body)
+            and all(isinstance(p, int) and 1 <= p <= self.n for p in body)
+        )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration violates a protocol precondition.
+
+    The most common cause is a resilience violation, e.g. running the main
+    protocol with ``n <= 3t`` or Ben-Or with ``n <= 5t``.
+    """
+
+
+class FieldError(ReproError):
+    """Invalid finite-field construction or operation (e.g. division by 0)."""
+
+
+class PolynomialError(ReproError):
+    """Invalid polynomial operation (e.g. interpolating duplicate points)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent or unsupported state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol module was driven outside its contract.
+
+    This signals *local* misuse (calling reconstruct before share, reusing a
+    session id, ...), never remote byzantine behaviour: byzantine input is
+    handled by the protocols themselves and must not raise.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained before a required predicate became true.
+
+    In an asynchronous protocol every guaranteed-termination property must
+    complete using only the messages already in flight; if the simulation
+    goes quiet first, the protocol (or the test harness) is wrong.
+    """

@@ -1,0 +1,21 @@
+"""Finite-field substrate: ``GF(p)`` arithmetic and prime utilities."""
+
+from repro.field.gf import DEFAULT_FIELD, Field, dot
+from repro.field.primes import (
+    DEFAULT_PRIME,
+    SMALL_TEST_PRIME,
+    is_prime,
+    next_prime,
+    smallest_field_prime,
+)
+
+__all__ = [
+    "DEFAULT_FIELD",
+    "DEFAULT_PRIME",
+    "SMALL_TEST_PRIME",
+    "Field",
+    "dot",
+    "is_prime",
+    "next_prime",
+    "smallest_field_prime",
+]

@@ -1,0 +1,18 @@
+"""Polynomial substrate: univariate + bivariate polynomials over GF(p)."""
+
+from repro.poly.bivariate import BivariatePolynomial, masking_polynomial
+from repro.poly.univariate import (
+    Polynomial,
+    interpolate_at_zero,
+    interpolate_degree_t,
+    lagrange_interpolate,
+)
+
+__all__ = [
+    "BivariatePolynomial",
+    "Polynomial",
+    "interpolate_at_zero",
+    "interpolate_degree_t",
+    "lagrange_interpolate",
+    "masking_polynomial",
+]

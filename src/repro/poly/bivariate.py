@@ -1,0 +1,201 @@
+"""Bivariate polynomials over ``GF(p)`` for the SVSS dealer (paper §4).
+
+The SVSS dealer draws a random ``f(x, y)`` of degree at most ``t`` in each
+variable with ``f(0, 0) = s`` and hands process ``j`` its *row*
+``g_j(y) = f(j, y)`` and *column* ``h_j(x) = f(x, j)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from random import Random
+
+from repro.errors import PolynomialError
+from repro.field.gf import Field
+from repro.poly.univariate import Polynomial, lagrange_interpolate
+
+
+class BivariatePolynomial:
+    """Immutable ``f(x, y) = sum a[i][j] x^i y^j`` with ``i, j <= t``.
+
+    ``coeffs[i][j]`` is the coefficient of ``x^i y^j``; the matrix is always
+    ``(t+1) x (t+1)`` (zero-padded), so ``t`` is explicit.
+    """
+
+    __slots__ = ("field", "t", "coeffs")
+
+    def __init__(self, field: Field, coeffs: Sequence[Sequence[int]]):
+        t = len(coeffs) - 1
+        if t < 0:
+            raise PolynomialError("coefficient matrix must be non-empty")
+        prime = field.prime
+        rows = []
+        for row in coeffs:
+            if len(row) != t + 1:
+                raise PolynomialError("coefficient matrix must be square")
+            rows.append(tuple(c % prime for c in row))
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "t", t)
+        object.__setattr__(self, "coeffs", tuple(rows))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise PolynomialError("BivariatePolynomial instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BivariatePolynomial)
+            and other.field == self.field
+            and other.coeffs == self.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs))
+
+    def __repr__(self) -> str:
+        return f"BivariatePolynomial(GF({self.field.prime}), t={self.t})"
+
+    # -- evaluation -----------------------------------------------------------
+    def __call__(self, x: int, y: int) -> int:
+        prime = self.field.prime
+        # Horner in x over row-evaluations in y.
+        acc = 0
+        for row in reversed(self.coeffs):
+            row_val = 0
+            for c in reversed(row):
+                row_val = (row_val * y + c) % prime
+            acc = (acc * x + row_val) % prime
+        return acc
+
+    @property
+    def secret(self) -> int:
+        """``f(0, 0)`` — the shared secret."""
+        return self.coeffs[0][0]
+
+    def row(self, j: int) -> Polynomial:
+        """``g_j(y) = f(j, y)`` as a univariate polynomial in ``y``."""
+        prime = self.field.prime
+        out = [0] * (self.t + 1)
+        x_pow = 1
+        for row in self.coeffs:
+            for k, c in enumerate(row):
+                out[k] = (out[k] + c * x_pow) % prime
+            x_pow = (x_pow * j) % prime
+        return Polynomial(self.field, out)
+
+    def column(self, j: int) -> Polynomial:
+        """``h_j(x) = f(x, j)`` as a univariate polynomial in ``x``."""
+        prime = self.field.prime
+        out = [0] * (self.t + 1)
+        for i, row in enumerate(self.coeffs):
+            y_pow = 1
+            total = 0
+            for c in row:
+                total = (total + c * y_pow) % prime
+                y_pow = (y_pow * j) % prime
+            out[i] = total
+        return Polynomial(self.field, out)
+
+    # -- algebra ----------------------------------------------------------------
+    def __add__(self, other: "BivariatePolynomial") -> "BivariatePolynomial":
+        if other.field != self.field or other.t != self.t:
+            raise PolynomialError("mismatched bivariate polynomials")
+        prime = self.field.prime
+        mixed = [
+            [(a + b) % prime for a, b in zip(row_a, row_b)]
+            for row_a, row_b in zip(self.coeffs, other.coeffs)
+        ]
+        return BivariatePolynomial(self.field, mixed)
+
+    def scale(self, factor: int) -> "BivariatePolynomial":
+        prime = self.field.prime
+        mixed = [[(c * factor) % prime for c in row] for row in self.coeffs]
+        return BivariatePolynomial(self.field, mixed)
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        field: Field,
+        t: int,
+        rng: Random,
+        secret: int | None = None,
+    ) -> "BivariatePolynomial":
+        """Uniformly random degree-(t, t) polynomial, optionally pinning
+        ``f(0,0)``.
+
+        This is exactly the dealer step of SVSS share (paper §4 footnote 2:
+        set ``a_00 = s`` and choose the remaining coefficients at random).
+        """
+        if t < 0:
+            raise PolynomialError("t must be >= 0")
+        coeffs = [field.random_elements(rng, t + 1) for _ in range(t + 1)]
+        if secret is not None:
+            coeffs[0][0] = field.element(secret)
+        return cls(field, coeffs)
+
+    @classmethod
+    def from_rows(
+        cls, field: Field, t: int, rows: Sequence[tuple[int, Polynomial]]
+    ) -> "BivariatePolynomial":
+        """Reconstruct ``f`` from ``t + 1`` rows ``(k, g_k)``.
+
+        Used by SVSS reconstruct step R3: given consistent rows, the unique
+        degree-(t, t) polynomial through them is
+        ``f(x, y) = sum_k g_k(y) * λ_k(x)`` with ``λ_k`` the Lagrange basis
+        over the row indices.
+        """
+        if len(rows) != t + 1:
+            raise PolynomialError(f"need exactly t+1={t + 1} rows, got {len(rows)}")
+        xs = [k for k, _ in rows]
+        if len(set(xs)) != len(xs):
+            raise PolynomialError("duplicate row indices")
+        prime = field.prime
+        coeffs = [[0] * (t + 1) for _ in range(t + 1)]
+        for k, g_k in rows:
+            if g_k.degree > t:
+                raise PolynomialError(f"row {k} has degree {g_k.degree} > t={t}")
+            # λ_k(x): the Lagrange basis polynomial over xs that is 1 at k.
+            basis_points = [(x, 1 if x == k else 0) for x in xs]
+            basis = lagrange_interpolate(field, basis_points)
+            basis_coeffs = list(basis.coeffs) + [0] * (t + 1 - len(basis.coeffs))
+            row_coeffs = list(g_k.coeffs) + [0] * (t + 1 - len(g_k.coeffs))
+            for i in range(t + 1):
+                b = basis_coeffs[i]
+                if b == 0:
+                    continue
+                for j in range(t + 1):
+                    coeffs[i][j] = (coeffs[i][j] + b * row_coeffs[j]) % prime
+        return cls(field, coeffs)
+
+
+def masking_polynomial(field: Field, t: int, corrupt: Sequence[int]) -> BivariatePolynomial:
+    """A degree-(t, t) polynomial ``q`` with ``q(0,0) = 1`` that vanishes on
+    every row *and* column indexed by ``corrupt``.
+
+    This is the constructive witness used by the hiding tests: for any two
+    secrets ``s`` and ``s'``, ``f' = f + (s' - s) * q`` is a valid dealing of
+    ``s'`` that gives the corrupt set *exactly the same* rows and columns as
+    ``f`` — proving the adversary's view is independent of the secret.
+    Requires ``len(corrupt) <= t``.
+    """
+    if len(set(corrupt)) != len(corrupt):
+        raise PolynomialError("corrupt set has duplicates")
+    if len(corrupt) > t:
+        raise PolynomialError(f"corrupt set larger than t={t}")
+    if 0 in corrupt:
+        raise PolynomialError("0 is not a valid process index")
+    prime = field.prime
+    # q(x, y) = prod_{j in corrupt} (x - j)(y - j) / j^2, degree |corrupt| <= t
+    # in each variable, q(0,0) = 1, and q(j, .) = q(., j) = 0 for corrupt j.
+    uni = Polynomial.constant(field, 1)
+    denom = 1
+    for j in corrupt:
+        uni = uni * Polynomial(field, [(-j) % prime, 1])
+        denom = (denom * j * j) % prime
+    inv_denom = field.inv(denom) if corrupt else 1
+    u = list(uni.coeffs) + [0] * (t + 1 - len(uni.coeffs))
+    coeffs = [
+        [(u[i] * u[j] * inv_denom) % prime for j in range(t + 1)]
+        for i in range(t + 1)
+    ]
+    return BivariatePolynomial(field, coeffs)

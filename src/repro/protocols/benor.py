@@ -1,0 +1,256 @@
+"""Ben-Or's 1983 randomized consensus — the original baseline (paper §1 [1]).
+
+Requires ``n > 5t``.  Uses plain point-to-point sends (no reliable
+broadcast) and private local coins, so expected convergence from split
+inputs degrades exponentially with the number of processes — exactly the
+behaviour experiment E2 contrasts with the paper's protocol.
+
+Round ``r`` for a process with estimate ``est``:
+
+* **report** — send ``(r, 1, est)`` to all; await ``n - t`` reports.  If
+  more than ``(n + t) / 2`` carry the same ``w``, propose ``w``, else
+  propose ⊥.
+* **proposal** — send ``(r, 2, proposal)``; await ``n - t`` proposals.
+  If ``>= 2t + 1`` carry the same non-⊥ ``w``: decide ``w``.  If
+  ``>= t + 1``: adopt ``est := w``.  Otherwise flip the private coin.
+
+Deciders keep participating for one extra round so laggards can finish.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.adversary.controller import Adversary, no_adversary
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError, DeadlockError, ProtocolError
+from repro.sim.process import ProcessHost
+from repro.sim.runtime import DEFAULT_MAX_EVENTS, Runtime
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Trace
+
+LAYER = "benor"
+
+
+class _Round:
+    __slots__ = ("received", "snapshot", "sent")
+
+    def __init__(self) -> None:
+        self.received: dict[int, dict[int, object]] = {1: {}, 2: {}}
+        self.snapshot: dict[int, list[object]] = {}
+        self.sent: dict[int, bool] = {1: False, 2: False}
+
+
+class BenOrProcess:
+    """One process running Ben-Or's protocol."""
+
+    def __init__(
+        self,
+        host: ProcessHost,
+        tag: str = "benor",
+        on_decide: Callable[[int], None] | None = None,
+    ):
+        self.host = host
+        self.pid = host.pid
+        config = host.runtime.config
+        config.require_resilience(5)
+        self.n = config.n
+        self.t = config.t
+        self.tag = tag
+        self.topic = f"benor:{tag}"
+        self.on_decide = on_decide
+        self._rng = config.derive_rng("benor-coin", tag, host.pid)
+        self.est: int | None = None
+        self.round = 0
+        self.rounds: dict[int, _Round] = {}
+        self.waiting_phase = 0
+        self.decided: int | None = None
+        self.decide_round: int | None = None
+        self.halted = False
+        host.register_handler(self.topic, self._on_message)
+        host.attach(self.topic, self)
+
+    # ------------------------------------------------------------------
+    def start(self, input_value: int) -> None:
+        if input_value not in (0, 1):
+            raise ProtocolError(f"input must be 0 or 1, got {input_value!r}")
+        if self.est is not None:
+            raise ProtocolError("already started")
+        self.est = input_value
+        self._enter_round(1)
+
+    @property
+    def rounds_used(self) -> int:
+        return self.round
+
+    # ------------------------------------------------------------------
+    def _round_state(self, r: int) -> _Round:
+        state = self.rounds.get(r)
+        if state is None:
+            state = _Round()
+            self.rounds[r] = state
+        return state
+
+    def _enter_round(self, r: int) -> None:
+        self.round = r
+        self.host.runtime.trace.record_event("benor.round")
+        self._send(r, 1, self.est)
+        self.waiting_phase = 1
+        self._maybe_advance()
+
+    def _send(self, r: int, phase: int, vote: object) -> None:
+        state = self._round_state(r)
+        if state.sent[phase] or self.halted:
+            return
+        state.sent[phase] = True
+        deviate = self.host.deviation("aba_vote")
+        if deviate is not None:
+            vote = deviate(r, phase, vote)
+        self.host.send_all((self.topic, r, phase, vote), LAYER)
+
+    def _on_message(self, src: int, payload: tuple) -> None:
+        if len(payload) != 4:
+            return
+        _, r, phase, vote = payload
+        if not isinstance(r, int) or r < 1 or phase not in (1, 2):
+            return
+        if phase == 1 and vote not in (0, 1):
+            return
+        if phase == 2 and vote not in (0, 1, None):
+            return
+        state = self._round_state(r)
+        if src in state.received[phase]:
+            return
+        state.received[phase][src] = vote
+        self._maybe_advance()
+
+    # ------------------------------------------------------------------
+    def _maybe_advance(self) -> None:
+        if self.halted or self.round == 0:
+            return
+        state = self._round_state(self.round)
+        while self.waiting_phase in (1, 2):
+            phase = self.waiting_phase
+            if phase in state.snapshot:
+                break
+            pool = state.received[phase]
+            if len(pool) < self.n - self.t:
+                break
+            snapshot = list(pool.values())[: self.n - self.t]
+            state.snapshot[phase] = snapshot
+            if phase == 1:
+                counts = [0, 0]
+                for v in snapshot:
+                    counts[v] += 1
+                proposal: object = None
+                for w in (0, 1):
+                    if counts[w] * 2 > self.n + self.t:
+                        proposal = w
+                self._send(self.round, 2, proposal)
+                self.waiting_phase = 2
+            else:
+                self._resolve_round(snapshot)
+                break
+
+    def _resolve_round(self, snapshot: list[object]) -> None:
+        r = self.round
+        counts = [0, 0]
+        for v in snapshot:
+            if v is not None:
+                counts[v] += 1
+        winner = 0 if counts[0] >= counts[1] else 1
+        count = counts[winner]
+        if count >= 2 * self.t + 1:
+            self.est = winner
+            self._decide(winner, r)
+        elif count >= self.t + 1:
+            self.est = winner
+        else:
+            self.est = self._rng.randrange(2)
+        if self.decided is not None and r >= self.decide_round + 1:
+            self.halted = True
+            return
+        self._enter_round(r + 1)
+
+    def _decide(self, value: int, r: int) -> None:
+        if self.decided is not None:
+            return
+        self.decided = value
+        self.decide_round = r
+        self.host.runtime.trace.record_event("benor.decide")
+        if self.on_decide is not None:
+            self.on_decide(value)
+
+
+@dataclass
+class BenOrResult:
+    config: SystemConfig
+    decisions: dict[int, int]
+    rounds: dict[int, int]
+    nonfaulty: list[int]
+    sim_time: float
+    trace: Trace
+    terminated: bool
+
+    @property
+    def agreed(self) -> bool:
+        if not self.terminated:
+            return False
+        return len({self.decisions[p] for p in self.nonfaulty}) == 1
+
+    @property
+    def max_rounds(self) -> int:
+        return max(self.rounds.values(), default=0)
+
+
+def run_benor(
+    inputs: list[int] | dict[int, int],
+    config: SystemConfig,
+    adversary: Adversary | None = None,
+    scheduler: Scheduler | None = None,
+    max_rounds: int = 500,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> BenOrResult:
+    """Run Ben-Or's protocol once (requires ``n > 5t``)."""
+    config.require_resilience(5)
+    runtime = Runtime(config, scheduler=scheduler)
+    adversary = adversary or no_adversary()
+    adversary.install(runtime)
+    if isinstance(inputs, dict):
+        input_map = dict(inputs)
+    else:
+        if len(inputs) != config.n:
+            raise ConfigurationError(f"need {config.n} inputs, got {len(inputs)}")
+        input_map = {pid: inputs[pid - 1] for pid in config.pids}
+    decisions: dict[int, int] = {}
+    processes = {
+        pid: BenOrProcess(
+            runtime.host(pid),
+            on_decide=lambda v, pid=pid: decisions.setdefault(pid, v),
+        )
+        for pid in config.pids
+    }
+    nonfaulty = adversary.nonfaulty_pids(config)
+    for pid in config.pids:
+        processes[pid].start(input_map[pid])
+
+    def finished() -> bool:
+        if all(pid in decisions for pid in nonfaulty):
+            return True
+        return any(processes[pid].round > max_rounds for pid in nonfaulty)
+
+    try:
+        runtime.run_until(finished, max_events=max_events)
+        terminated = all(pid in decisions for pid in nonfaulty)
+    except DeadlockError:
+        terminated = False
+    return BenOrResult(
+        config=config,
+        decisions=decisions,
+        rounds={pid: processes[pid].rounds_used for pid in nonfaulty},
+        nonfaulty=nonfaulty,
+        sim_time=runtime.now,
+        trace=runtime.trace,
+        terminated=terminated,
+    )

@@ -1,0 +1,33 @@
+"""Simulation substrate: deterministic asynchronous message-passing network."""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import ProcessHost
+from repro.sim.runtime import DEFAULT_MAX_EVENTS, Runtime
+from repro.sim.scheduler import (
+    ExponentialDelayScheduler,
+    FifoScheduler,
+    IntermittentPartitionScheduler,
+    Scheduler,
+    TargetedDelayScheduler,
+    UniformDelayScheduler,
+    default_scheduler,
+)
+from repro.sim.tracing import ShunRecord, Trace, estimate_size
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "Event",
+    "EventQueue",
+    "ExponentialDelayScheduler",
+    "FifoScheduler",
+    "IntermittentPartitionScheduler",
+    "ProcessHost",
+    "Runtime",
+    "Scheduler",
+    "ShunRecord",
+    "TargetedDelayScheduler",
+    "Trace",
+    "UniformDelayScheduler",
+    "default_scheduler",
+    "estimate_size",
+]

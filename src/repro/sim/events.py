@@ -1,0 +1,46 @@
+"""Deterministic event queue for the discrete-event simulator.
+
+Events are plain tuples ``(time, seq, dst, src, payload)`` ordered by
+``(time, seq)``; the sequence number makes simultaneous deliveries
+deterministic, so a run is a pure function of its
+:class:`~repro.config.SystemConfig` seed and adversary.  Tuples (rather
+than objects) keep the heap operations cheap: this queue moves hundreds of
+thousands of messages per full-stack run.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+#: one scheduled delivery: (time, seq, dst, src, payload)
+Event = tuple[float, int, int, int, object]
+
+
+class EventQueue:
+    """A seeded-deterministic priority queue of delivery events."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, dst: int, src: int, payload: object) -> Event:
+        event = (time, self._seq, dst, src, payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def pushed_total(self) -> int:
+        """Total number of events ever pushed (== messages sent)."""
+        return self._seq

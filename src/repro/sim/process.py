@@ -1,0 +1,123 @@
+"""Process hosts: reactive message routers.
+
+Every protocol in the paper is a list of "upon receiving X do Y" rules, so a
+process is modelled as a router of tagged-message handlers.  Protocol
+modules (broadcast manager, VSS manager, agreement, ...) attach themselves
+to a host and register for the tags they own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.runtime import Runtime
+
+Handler = Callable[[int, tuple], None]
+OutboundFilter = Callable[[int, tuple], "tuple | None | list[tuple]"]
+
+
+class ProcessHost:
+    """One simulated process: id, handler table, outbound hook.
+
+    The ``outbound_filter`` is the seam the adversary library uses for
+    byzantine senders: it may rewrite, drop, or multiply any outgoing
+    message.  Nonfaulty processes never install one.
+    """
+
+    __slots__ = (
+        "runtime",
+        "pid",
+        "crashed",
+        "outbound_filter",
+        "behavior",
+        "_handlers",
+        "_modules",
+    )
+
+    def __init__(self, runtime: "Runtime", pid: int):
+        self.runtime = runtime
+        self.pid = pid
+        self.crashed = False
+        self.outbound_filter: OutboundFilter | None = None
+        #: Byzantine behaviour object for corrupt processes; None = nonfaulty.
+        self.behavior: object | None = None
+        self._handlers: dict[object, Handler] = {}
+        self._modules: dict[str, object] = {}
+
+    def deviation(self, hook: str):
+        """Return the behaviour hook ``hook`` if this process is corrupt and
+        its behaviour implements it, else None.
+
+        Protocol modules call this at every point where a byzantine process
+        could deviate; nonfaulty processes always get None and run the
+        honest code path.
+        """
+        if self.behavior is None:
+            return None
+        return getattr(self.behavior, hook, None)
+
+    # -- module wiring ------------------------------------------------------
+    def attach(self, name: str, module: object) -> None:
+        if name in self._modules:
+            raise SimulationError(f"module {name!r} already attached to {self.pid}")
+        self._modules[name] = module
+
+    def module(self, name: str) -> object:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise SimulationError(f"process {self.pid} has no module {name!r}") from None
+
+    def has_module(self, name: str) -> bool:
+        return name in self._modules
+
+    def register_handler(self, tag: object, handler: Handler) -> None:
+        if tag in self._handlers:
+            raise SimulationError(f"handler for {tag!r} already registered on {self.pid}")
+        self._handlers[tag] = handler
+
+    # -- receiving -------------------------------------------------------------
+    def deliver(self, src: int, payload: object) -> None:
+        """Route one delivered message.
+
+        Unknown tags and malformed payloads are dropped silently: byzantine
+        peers may send arbitrary bytes and a nonfaulty process must survive
+        them.  (Handler *bugs* still raise — only routing is lenient.)
+        """
+        if self.crashed:
+            return
+        if not isinstance(payload, tuple) or not payload:
+            return
+        handler = self._handlers.get(payload[0])
+        if handler is not None:
+            handler(src, payload)
+
+    # -- sending ------------------------------------------------------------------
+    def send(self, dst: int, payload: tuple, layer: str) -> None:
+        """Send over the private channel to ``dst`` (may be self)."""
+        if self.crashed:
+            return
+        if self.outbound_filter is None:
+            self.runtime.transmit(self.pid, dst, payload, layer)
+            return
+        produced = self.outbound_filter(dst, payload)
+        if produced is None:
+            return
+        if isinstance(produced, list):
+            for item in produced:
+                self.runtime.transmit(self.pid, dst, item, layer)
+        else:
+            self.runtime.transmit(self.pid, dst, produced, layer)
+
+    def send_all(self, payload: tuple, layer: str) -> None:
+        """Plain point-to-point send to every process, self included."""
+        for dst in self.runtime.config.pids:
+            self.send(dst, payload, layer)
+
+    def crash(self) -> None:
+        """Stop participating entirely (fail-stop)."""
+        self.crashed = True

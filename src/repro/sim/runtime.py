@@ -1,0 +1,112 @@
+"""The simulation runtime: private channels + event loop.
+
+Models the paper's system exactly: ``n`` processes, reliable private
+channels with unbounded but finite delay, delivery order chosen by the
+scheduler (i.e. by the adversary).  Everything is deterministic given the
+config seed, the scheduler, and the adversary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.config import SystemConfig
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.process import ProcessHost
+from repro.sim.scheduler import Scheduler, default_scheduler
+from repro.sim.tracing import Trace
+
+#: Safety valve: a run dispatching more events than this is assumed stuck in
+#: a livelock (no correct experiment in this repo comes close).
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+class Runtime:
+    """Owns the hosts, the event queue, the clock, and the trace."""
+
+    def __init__(self, config: SystemConfig, scheduler: Scheduler | None = None):
+        self.config = config
+        self.field = config.field
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.trace = Trace.for_field(config.field, config.n)
+        self.scheduler = scheduler or default_scheduler(config.derive_rng("scheduler"))
+        self.hosts: dict[int, ProcessHost] = {
+            pid: ProcessHost(self, pid) for pid in config.pids
+        }
+
+    def host(self, pid: int) -> ProcessHost:
+        try:
+            return self.hosts[pid]
+        except KeyError:
+            raise SimulationError(f"no process with id {pid}") from None
+
+    # -- transport -----------------------------------------------------------
+    def transmit(self, src: int, dst: int, payload: tuple, layer: str) -> None:
+        """Accept a message onto the (simulated) wire."""
+        if dst not in self.hosts:
+            raise SimulationError(f"send to unknown process {dst}")
+        delay = self.scheduler.delay(src, dst, payload, self.now)
+        if not (delay > 0.0) or delay != delay or delay == float("inf"):
+            raise SimulationError(
+                f"scheduler produced illegal delay {delay!r}; the model "
+                "requires positive finite delays (eventual delivery)"
+            )
+        self.trace.record_send(layer, payload)
+        self.queue.push(self.now + delay, dst, src, payload)
+
+    # -- event loop --------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the next delivery; False when the queue is empty."""
+        if not self.queue:
+            return False
+        time, _, dst, src, payload = self.queue.pop()
+        self.now = time
+        self.trace.events_dispatched += 1
+        self.hosts[dst].deliver(src, payload)
+        return True
+
+    def run_to_quiescence(self, max_events: int = DEFAULT_MAX_EVENTS) -> int:
+        """Run until no messages remain in flight; returns events dispatched.
+
+        In an asynchronous protocol every liveness property must hold by
+        quiescence (there is no "later" once nothing is in flight), so this
+        is the canonical way tests drive a run to completion.
+        """
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely livelock"
+                )
+        return dispatched
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> int:
+        """Run until ``predicate()`` holds; DeadlockError if we quiesce first."""
+        dispatched = 0
+        if predicate():
+            return 0
+        while self.step():
+            dispatched += 1
+            if dispatched > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely livelock"
+                )
+            if predicate():
+                return dispatched
+        raise DeadlockError(
+            "event queue drained before the awaited condition became true"
+        )
+
+    def run_steps(self, count: int) -> int:
+        """Dispatch at most ``count`` events; returns how many ran."""
+        dispatched = 0
+        while dispatched < count and self.step():
+            dispatched += 1
+        return dispatched

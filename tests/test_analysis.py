@@ -1,0 +1,138 @@
+"""Tests for the analysis helpers (stats, complexity fits, tables)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.complexity import (
+    fit_exponential,
+    fit_power_law,
+    looks_polynomial,
+)
+from repro.analysis.stats import (
+    geometric_mean,
+    proportion_ci95,
+    summarize,
+)
+from repro.analysis.tables import render_table
+
+
+class TestSummary:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.count == 3
+        assert abs(s.stdev - 1.0) < 1e-9
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.stdev == 0.0
+        assert s.ci95_halfwidth() == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_format_contains_mean(self):
+        assert "2.00" in summarize([1.0, 2.0, 3.0]).format()
+
+    def test_ci_shrinks_with_samples(self):
+        rng = random.Random(0)
+        small = summarize([rng.random() for _ in range(10)])
+        large = summarize([rng.random() for _ in range(1000)])
+        assert large.ci95_halfwidth() < small.ci95_halfwidth()
+
+
+class TestProportionCI:
+    def test_extremes(self):
+        low, high = proportion_ci95(0, 100)
+        assert low == 0.0 and high < 0.1
+        low, high = proportion_ci95(100, 100)
+        assert low > 0.9 and high > 0.99
+
+    def test_zero_trials(self):
+        assert proportion_ci95(0, 0) == (0.0, 1.0)
+
+    def test_contains_true_proportion(self):
+        low, high = proportion_ci95(50, 100)
+        assert low < 0.5 < high
+
+
+class TestGeometricMean:
+    def test_exact(self):
+        assert abs(geometric_mean([1, 4]) - 2.0) < 1e-9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestPowerFit:
+    def test_recovers_exact_power_law(self):
+        points = [(n, 3.0 * n**2.5) for n in (4, 7, 10, 13)]
+        fit = fit_power_law(points)
+        assert abs(fit.exponent - 2.5) < 1e-9
+        assert abs(fit.coefficient - 3.0) < 1e-6
+        assert fit.r_squared > 0.999
+
+    def test_predict(self):
+        fit = fit_power_law([(n, n**2) for n in (2, 4, 8)])
+        assert abs(fit.predict(16) - 256) < 1e-6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(1, 0.0), (2, 4.0)])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(2, 4.0)])
+
+
+class TestExponentialFit:
+    def test_recovers_exact_exponential(self):
+        points = [(n, 0.5 * 2.0**n) for n in range(3, 10)]
+        fit = fit_exponential(points)
+        assert abs(fit.base - 2.0) < 1e-9
+        assert abs(fit.coefficient - 0.5) < 1e-9
+
+    def test_predict(self):
+        fit = fit_exponential([(n, 2.0**n) for n in range(1, 6)])
+        assert abs(fit.predict(7) - 128) < 1e-6
+
+
+class TestVerdict:
+    def test_polynomial_data_looks_polynomial(self):
+        points = [(n, 10 * n**3 + n) for n in (4, 7, 10, 13, 16)]
+        assert looks_polynomial(points)
+
+    def test_exponential_data_does_not(self):
+        points = [(n, 1.7**n) for n in (4, 8, 12, 16, 20, 24)]
+        assert not looks_polynomial(points, max_exponent=6.0)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            looks_polynomial([(1, 1), (2, 2)])
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table("T", ["col", "x"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "col" in lines[1] and "x" in lines[1]
+        assert len(lines) == 5
+
+    def test_note_appended(self):
+        text = render_table("T", ["c"], [[1]], note="hello")
+        assert text.endswith("note: hello")
+
+    def test_wide_cells_fit(self):
+        text = render_table("T", ["h"], [["wide-cell-content"]])
+        header, rule, row = text.splitlines()[1:]
+        assert len(header) == len(row)

@@ -1,0 +1,148 @@
+"""Tests for the high-level API surface (`repro.core.api` + package root)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.adversary.controller import Adversary, silent_adversary
+from repro.config import SystemConfig
+from repro.core.api import (
+    build_stack,
+    run_byzantine_agreement,
+    run_mwsvss,
+    run_svss,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPackageRoot:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_main_entry_points_exposed(self):
+        assert repro.run_byzantine_agreement is run_byzantine_agreement
+        assert repro.SystemConfig is SystemConfig
+
+
+class TestBuildStack:
+    def test_components_wired(self, cfg4):
+        stack = build_stack(cfg4)
+        assert set(stack.broadcasts) == set(cfg4.pids)
+        assert set(stack.vss) == set(cfg4.pids)
+        assert stack.trace is stack.runtime.trace
+
+    def test_without_vss(self, cfg4):
+        stack = build_stack(cfg4, with_vss=False)
+        assert stack.vss == {}
+        assert set(stack.broadcasts) == set(cfg4.pids)
+
+    def test_adversary_installed(self, cfg4):
+        adversary = silent_adversary([2])
+        stack = build_stack(cfg4, adversary=adversary)
+        assert stack.runtime.host(2).outbound_filter is not None
+        assert stack.nonfaulty() == [1, 3, 4]
+
+    def test_measure_bytes_flag(self, cfg4):
+        stack = build_stack(cfg4, measure_bytes=True)
+        assert stack.trace.measure_bytes
+
+    def test_oversized_adversary_rejected(self, cfg4):
+        from repro.adversary.behaviors import SilentBehavior
+
+        adversary = Adversary({1: SilentBehavior(), 2: SilentBehavior()})
+        with pytest.raises(ConfigurationError):
+            build_stack(cfg4, adversary=adversary)
+
+
+class TestResultObjects:
+    def test_agreement_result_properties(self):
+        cfg = SystemConfig(n=4, seed=3)
+        result = run_byzantine_agreement([1, 1, 1, 1], cfg, coin=("ideal", 1.0))
+        assert result.agreed
+        assert result.decision == 1
+        assert result.max_rounds == max(result.rounds.values())
+        assert result.shun_pairs == set()
+        assert result.adversary_description == "none"
+        assert result.sim_time > 0
+
+    def test_agreement_result_with_adversary_description(self):
+        cfg = SystemConfig(n=4, seed=3)
+        result = run_byzantine_agreement(
+            [1, 1, 1, 1], cfg, coin=("ideal", 1.0), adversary=silent_adversary([4])
+        )
+        assert "Silent" in result.adversary_description
+        assert result.nonfaulty == [1, 2, 3]
+
+    def test_non_terminated_result_not_agreed(self):
+        from repro.adversary.schedulers import VoteBalancingScheduler
+        from repro.protocols.cr_avss import cr_coin
+
+        cfg = SystemConfig(n=4, seed=1)
+        result = run_byzantine_agreement(
+            [0, 1, 0, 1],
+            cfg,
+            coin=cr_coin(cfg, 1.0),
+            scheduler=VoteBalancingScheduler(cfg),
+            max_rounds=10,
+        )
+        assert not result.terminated
+        assert not result.agreed
+
+    def test_vss_result_output_values(self):
+        cfg = SystemConfig(n=4, seed=5)
+        result, _ = run_svss(cfg, dealer=1, secret=11)
+        assert result.output_values() == {11}
+        assert result.output_values([1, 2]) == {11}
+
+    def test_mwsvss_counter_isolates_sessions(self):
+        cfg = SystemConfig(n=4, seed=5)
+        r1, _ = run_mwsvss(cfg, dealer=1, moderator=2, secret=1, counter=0)
+        r2, _ = run_mwsvss(cfg, dealer=1, moderator=2, secret=2, counter=1)
+        assert r1.session != r2.session
+        assert r1.output_values() == {1} and r2.output_values() == {2}
+
+
+class TestCoinSpecs:
+    def test_ideal_spec_tuple(self):
+        cfg = SystemConfig(n=4, seed=0)
+        result = run_byzantine_agreement([0, 1, 0, 1], cfg, coin=("ideal", 0.9))
+        assert result.agreed
+
+    def test_callable_spec(self):
+        from repro.core.coin import LocalCoin
+
+        cfg = SystemConfig(n=4, seed=0)
+        made = []
+
+        def factory(stack, pid):
+            coin = LocalCoin(cfg.derive_rng("custom", pid))
+            made.append(pid)
+            return coin
+
+        result = run_byzantine_agreement([1, 1, 1, 1], cfg, coin=factory)
+        assert result.agreed
+        assert sorted(made) == [1, 2, 3, 4]
+
+    def test_bad_ideal_probability_rejected(self):
+        cfg = SystemConfig(n=4, seed=0)
+        with pytest.raises(Exception):
+            run_byzantine_agreement([1, 1, 1, 1], cfg, coin=("ideal", 2.0))
+
+
+class TestDeterminism:
+    def test_svss_replay_bitwise(self):
+        a, _ = run_svss(SystemConfig(n=4, seed=99), dealer=2, secret=8)
+        b, _ = run_svss(SystemConfig(n=4, seed=99), dealer=2, secret=8)
+        assert a.outputs == b.outputs
+        assert a.sim_time == b.sim_time
+        assert a.trace.total_messages == b.trace.total_messages
+
+    def test_different_seed_different_schedule(self):
+        a, _ = run_svss(SystemConfig(n=4, seed=1), dealer=2, secret=8)
+        b, _ = run_svss(SystemConfig(n=4, seed=2), dealer=2, secret=8)
+        assert a.sim_time != b.sim_time

@@ -1,0 +1,117 @@
+"""Tests for the Ben-Or 1983 baseline (n > 5t)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.behaviors import ABALiarBehavior, CrashBehavior, SilentBehavior
+from repro.adversary.controller import Adversary
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocols.benor import BenOrProcess, run_benor
+from repro.sim.runtime import Runtime
+
+
+def cfg6(seed=0):
+    return SystemConfig(n=6, t=1, seed=seed)
+
+
+class TestResilience:
+    def test_rejects_insufficient_resilience(self):
+        with pytest.raises(ConfigurationError):
+            run_benor([0] * 5, SystemConfig(n=5, t=1, seed=0))
+
+    def test_accepts_n_greater_5t(self):
+        result = run_benor([1] * 6, cfg6())
+        assert result.agreed
+
+
+class TestValidity:
+    @pytest.mark.parametrize("v", [0, 1])
+    def test_unanimous_inputs(self, v):
+        result = run_benor([v] * 6, cfg6(seed=v))
+        assert result.agreed and all(
+            d == v for d in result.decisions.values()
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unanimous_with_silent_fault(self, seed):
+        adversary = Adversary({6: SilentBehavior()})
+        result = run_benor([1] * 6, cfg6(seed), adversary=adversary)
+        assert result.agreed
+        assert all(result.decisions[p] == 1 for p in range(1, 6))
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_split_inputs(self, seed):
+        result = run_benor([0, 1, 0, 1, 0, 1], cfg6(seed))
+        assert result.agreed, result.decisions
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_liar(self, seed):
+        adversary = Adversary({3: ABALiarBehavior(random.Random(seed))})
+        result = run_benor([0, 1, 0, 1, 0, 1], cfg6(seed + 10), adversary=adversary)
+        assert result.agreed
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_crash(self, seed):
+        adversary = Adversary({2: CrashBehavior(after_messages=10)})
+        result = run_benor([1, 0, 1, 0, 1, 0], cfg6(seed + 20), adversary=adversary)
+        assert result.agreed
+
+
+class TestDynamics:
+    def test_unanimous_decides_fast(self):
+        result = run_benor([1] * 6, cfg6())
+        assert result.max_rounds <= 2
+
+    def test_rounds_grow_with_contention(self):
+        """Split inputs need more rounds than unanimous ones on average —
+        the qualitative shape behind the exponential-baseline claim."""
+        split_rounds, unan_rounds = [], []
+        for seed in range(10):
+            split_rounds.append(
+                run_benor([0, 1, 0, 1, 0, 1], cfg6(seed + 50)).max_rounds
+            )
+            unan_rounds.append(run_benor([1] * 6, cfg6(seed + 50)).max_rounds)
+        assert sum(split_rounds) > sum(unan_rounds)
+
+    def test_max_rounds_cap_reported(self):
+        """With a round cap of 0 the run reports non-termination."""
+        result = run_benor([0, 1, 0, 1, 0, 1], cfg6(3), max_rounds=0)
+        assert not result.terminated
+        assert not result.agreed
+
+    def test_deterministic_replay(self):
+        a = run_benor([0, 1, 0, 1, 0, 1], cfg6(9))
+        b = run_benor([0, 1, 0, 1, 0, 1], cfg6(9))
+        assert a.decisions == b.decisions
+        assert a.rounds == b.rounds
+
+
+class TestInterface:
+    def test_bad_input_rejected(self):
+        cfg = cfg6()
+        runtime = Runtime(cfg)
+        process = BenOrProcess(runtime.host(1))
+        with pytest.raises(ProtocolError):
+            process.start(2)
+
+    def test_double_start_rejected(self):
+        cfg = cfg6()
+        runtime = Runtime(cfg)
+        process = BenOrProcess(runtime.host(1))
+        process.start(1)
+        with pytest.raises(ProtocolError):
+            process.start(0)
+
+    def test_wrong_input_count(self):
+        with pytest.raises(ConfigurationError):
+            run_benor([1, 0], cfg6())
+
+    def test_dict_inputs(self):
+        result = run_benor({p: 1 for p in range(1, 7)}, cfg6())
+        assert result.agreed

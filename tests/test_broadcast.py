@@ -1,0 +1,212 @@
+"""Tests for Weak Reliable Broadcast and Reliable Broadcast (Appendix A)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.behaviors import MutatingBehavior, SilentBehavior
+from repro.broadcast.manager import BroadcastManager
+from repro.config import SystemConfig
+from repro.errors import ProtocolError
+from repro.sim.runtime import Runtime
+from repro.sim.scheduler import ExponentialDelayScheduler
+
+
+def make_system(n: int, seed: int = 0, scheduler=None):
+    cfg = SystemConfig(n=n, seed=seed)
+    rt = Runtime(cfg, scheduler=scheduler)
+    managers = {pid: BroadcastManager(rt.host(pid)) for pid in cfg.pids}
+    return cfg, rt, managers
+
+
+def subscribe_all(cfg, managers, topic="demo"):
+    delivered: dict[int, list] = {pid: [] for pid in cfg.pids}
+    for pid in cfg.pids:
+        managers[pid].subscribe(
+            topic, lambda origin, value, pid=pid: delivered[pid].append((origin, value))
+        )
+    return delivered
+
+
+class TestReliableBroadcastHappyPath:
+    def test_all_deliver_same_value(self):
+        cfg, rt, managers = make_system(4)
+        delivered = subscribe_all(cfg, managers)
+        managers[1].broadcast((1, "demo", 0), ("demo", "payload"))
+        rt.run_to_quiescence()
+        for pid in cfg.pids:
+            assert delivered[pid] == [(1, ("demo", "payload"))]
+
+    def test_message_count_formula(self):
+        """RB costs exactly 2n^2 + n messages with no faults (E10 shape)."""
+        for n in (4, 7, 10):
+            cfg, rt, managers = make_system(n)
+            subscribe_all(cfg, managers)
+            managers[1].broadcast((1, "demo", 0), ("demo", "x"))
+            rt.run_to_quiescence()
+            assert rt.trace.total_messages == 2 * n * n + n
+
+    def test_many_concurrent_broadcasts(self):
+        cfg, rt, managers = make_system(4, seed=3)
+        delivered = subscribe_all(cfg, managers)
+        for pid in cfg.pids:
+            for c in range(3):
+                managers[pid].broadcast((pid, "demo", c), ("demo", (pid, c)))
+        rt.run_to_quiescence()
+        for pid in cfg.pids:
+            assert len(delivered[pid]) == 12
+            assert {v for _, v in delivered[pid]} == {
+                ("demo", (p, c)) for p in cfg.pids for c in range(3)
+            }
+
+    def test_duplicate_bid_per_sender_delivers_once(self):
+        cfg, rt, managers = make_system(4)
+        delivered = subscribe_all(cfg, managers)
+        managers[1].broadcast((1, "demo", 0), ("demo", "x"))
+        rt.run_to_quiescence()
+        # re-broadcasting the same bid does not deliver again
+        managers[1].broadcast((1, "demo", 0), ("demo", "x"))
+        rt.run_to_quiescence()
+        assert all(len(delivered[pid]) == 1 for pid in cfg.pids)
+
+    def test_delivery_under_heavy_reordering(self):
+        cfg = SystemConfig(n=7, seed=5)
+        rt = Runtime(
+            cfg, scheduler=ExponentialDelayScheduler(cfg.derive_rng("s"), mean=10.0)
+        )
+        managers = {pid: BroadcastManager(rt.host(pid)) for pid in cfg.pids}
+        delivered = subscribe_all(cfg, managers)
+        for pid in cfg.pids:
+            managers[pid].broadcast((pid, "demo", 0), ("demo", pid))
+        rt.run_to_quiescence()
+        for pid in cfg.pids:
+            assert len(delivered[pid]) == 7
+
+
+class TestOriginAuthentication:
+    def test_bid_must_start_with_own_pid(self):
+        cfg, rt, managers = make_system(4)
+        with pytest.raises(ProtocolError):
+            managers[1].broadcast((2, "demo", 0), ("demo", "x"))
+        with pytest.raises(ProtocolError):
+            managers[1].broadcast("not-a-tuple", ("demo", "x"))
+
+    def test_spoofed_b1_ignored(self):
+        """A byzantine process cannot start a broadcast in another's name."""
+        cfg, rt, managers = make_system(4)
+        delivered = subscribe_all(cfg, managers)
+        # Process 2 sends raw type-1 messages claiming origin 1.
+        rt.host(2).send_all(("b1", (1, "demo", 0), ("demo", "forged")), "rb")
+        rt.run_to_quiescence()
+        assert all(delivered[pid] == [] for pid in cfg.pids)
+
+
+class TestAgreementUnderEquivocation:
+    def equivocate(self, n, seed):
+        """Origin 1 sends different type-1 values to each half of the system
+        (bypassing the manager), all other traffic honest."""
+        cfg, rt, managers = make_system(n, seed=seed)
+        delivered = subscribe_all(cfg, managers)
+        host = rt.host(1)
+        for dst in cfg.pids:
+            value = ("demo", "A") if dst % 2 == 0 else ("demo", "B")
+            host.send(dst, ("b1", (1, "demo", 0), value), "rb")
+        rt.run_to_quiescence()
+        return cfg, delivered
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_two_processes_deliver_different_values(self, seed):
+        cfg, delivered = self.equivocate(4, seed)
+        values = {v for msgs in delivered.values() for _, v in msgs}
+        assert len(values) <= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_totality_if_any_delivers_all_deliver(self, seed):
+        cfg, delivered = self.equivocate(7, seed)
+        counts = [len(delivered[pid]) for pid in cfg.pids]
+        assert counts == [0] * 7 or counts == [1] * 7
+
+
+class TestFaultTolerance:
+    def test_t_silent_processes_do_not_block(self):
+        cfg = SystemConfig(n=4, seed=2)
+        rt = Runtime(cfg)
+        managers = {pid: BroadcastManager(rt.host(pid)) for pid in cfg.pids}
+        delivered = subscribe_all(cfg, managers)
+        SilentBehavior().install(rt.host(4))
+        managers[1].broadcast((1, "demo", 0), ("demo", "x"))
+        rt.run_to_quiescence()
+        for pid in (1, 2, 3):
+            assert delivered[pid] == [(1, ("demo", "x"))]
+
+    def test_t_mutators_cannot_forge_delivery(self):
+        """With t byzantine mutators, every delivered value was actually
+        broadcast by the origin (or nothing is delivered)."""
+        for seed in range(6):
+            cfg = SystemConfig(n=4, seed=seed)
+            rt = Runtime(cfg)
+            managers = {pid: BroadcastManager(rt.host(pid)) for pid in cfg.pids}
+            delivered = subscribe_all(cfg, managers)
+            MutatingBehavior(random.Random(seed), rate=0.8).install(rt.host(2))
+            managers[1].broadcast((1, "demo", 0), ("demo", "genuine"))
+            rt.run_to_quiescence()
+            for pid in (1, 3, 4):
+                assert all(
+                    v == ("demo", "genuine") for _, v in delivered[pid]
+                ), delivered[pid]
+
+    def test_nonfaulty_sender_delivers_despite_mutator(self):
+        hits = 0
+        for seed in range(6):
+            cfg = SystemConfig(n=4, seed=seed)
+            rt = Runtime(cfg)
+            managers = {pid: BroadcastManager(rt.host(pid)) for pid in cfg.pids}
+            delivered = subscribe_all(cfg, managers)
+            MutatingBehavior(random.Random(seed), rate=0.5).install(rt.host(3))
+            managers[1].broadcast((1, "demo", 0), ("demo", "v"))
+            rt.run_to_quiescence()
+            if all(delivered[pid] == [(1, ("demo", "v"))] for pid in (1, 2, 4)):
+                hits += 1
+        # Weak termination holds in every run: the dealer is nonfaulty.
+        assert hits == 6
+
+    def test_garbage_payloads_ignored(self):
+        cfg, rt, managers = make_system(4)
+        delivered = subscribe_all(cfg, managers)
+        host = rt.host(2)
+        host.send_all(("b1",), "rb")
+        host.send_all(("b2", "bid-not-tuple", "v"), "rb")
+        host.send_all(("b3", (2, "demo"), ["unhashable"]), "rb")
+        rt.run_to_quiescence()
+        assert all(delivered[pid] == [] for pid in cfg.pids)
+
+
+class TestWeakBroadcast:
+    def test_weak_broadcast_accepts(self):
+        cfg, rt, managers = make_system(4)
+        got = {pid: [] for pid in cfg.pids}
+        for pid in cfg.pids:
+            managers[pid].subscribe_weak(
+                "wdemo", lambda o, v, pid=pid: got[pid].append((o, v))
+            )
+        managers[1].broadcast_weak((1, "weak", "wdemo", 0), ("wdemo", "x"))
+        rt.run_to_quiescence()
+        for pid in cfg.pids:
+            assert got[pid] == [(1, ("wdemo", "x"))]
+
+    def test_weak_costs_fewer_messages_than_rb(self):
+        n = 4
+        cfg, rt, managers = make_system(n)
+        for pid in cfg.pids:
+            managers[pid].subscribe_weak("wdemo", lambda o, v: None)
+        managers[1].broadcast_weak((1, "weak", "wdemo", 0), ("wdemo", "x"))
+        rt.run_to_quiescence()
+        assert rt.trace.total_messages == n * n + n  # no echo round
+
+    def test_duplicate_topic_subscription_rejected(self):
+        cfg, rt, managers = make_system(4)
+        managers[1].subscribe("demo", lambda o, v: None)
+        with pytest.raises(ProtocolError):
+            managers[1].subscribe("demo", lambda o, v: None)

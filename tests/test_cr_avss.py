@@ -1,0 +1,114 @@
+"""Tests for the Canetti-Rabin ε-failure coin stand-in (experiment E8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.api import run_byzantine_agreement
+from repro.protocols.cr_avss import EpsilonAVSSCoin, EpsilonCoinOracle, cr_coin
+
+
+class TestOracle:
+    def test_epsilon_zero_is_perfect(self):
+        cfg = SystemConfig(n=4, seed=0)
+        oracle = EpsilonCoinOracle(cfg, epsilon=0.0)
+        for r in range(50):
+            values = {oracle.value_for(("c", r), pid) for pid in cfg.pids}
+            assert len(values) == 1
+
+    def test_epsilon_one_always_fails(self):
+        cfg = SystemConfig(n=4, seed=0)
+        oracle = EpsilonCoinOracle(cfg, epsilon=1.0)
+        for r in range(20):
+            values = {oracle.value_for(("c", r), pid) for pid in cfg.pids}
+            assert values == {0, 1}
+
+    def test_failure_rate_close_to_epsilon(self):
+        cfg = SystemConfig(n=4, seed=1)
+        oracle = EpsilonCoinOracle(cfg, epsilon=0.3)
+        for r in range(1000):
+            oracle.value_for(("c", r), 1)
+        rate = oracle.failed_invocations / oracle.invocations
+        assert 0.2 < rate < 0.4
+
+    def test_rejects_bad_epsilon(self):
+        cfg = SystemConfig(n=4, seed=0)
+        with pytest.raises(ValueError):
+            EpsilonCoinOracle(cfg, epsilon=-0.1)
+
+    def test_describe_mentions_epsilon(self):
+        cfg = SystemConfig(n=4, seed=0)
+        oracle = EpsilonCoinOracle(cfg, epsilon=0.25)
+        assert "0.25" in EpsilonAVSSCoin(oracle, 1).describe()
+
+
+class TestAgreementWithEpsilonCoin:
+    def test_small_epsilon_usually_terminates(self):
+        done = 0
+        for seed in range(10):
+            cfg = SystemConfig(n=4, seed=seed)
+            result = run_byzantine_agreement(
+                [0, 1, 0, 1], cfg, coin=cr_coin(cfg, 0.05), max_rounds=100
+            )
+            done += result.terminated and result.agreed
+        assert done >= 8
+
+    def test_failed_coin_under_balancing_schedule_never_terminates(self):
+        """The CR93 failure shape: when the AVSS-based coin fails (here:
+        always, ε = 1), the vote-balancing schedule keeps the estimates
+        split past any round cap, in every run."""
+        from repro.adversary.schedulers import VoteBalancingScheduler
+
+        for seed in range(5):
+            cfg = SystemConfig(n=4, seed=seed + 30)
+            result = run_byzantine_agreement(
+                [0, 1, 0, 1],
+                cfg,
+                coin=cr_coin(cfg, 1.0),
+                scheduler=VoteBalancingScheduler(cfg),
+                max_rounds=30,
+            )
+            assert not result.terminated
+
+    def test_common_coin_beats_balancing_schedule(self):
+        """Same adversarial schedule, working common coin: terminates.
+        This is the paper's whole point in miniature."""
+        from repro.adversary.schedulers import VoteBalancingScheduler
+
+        for seed in range(5):
+            cfg = SystemConfig(n=4, seed=seed + 60)
+            result = run_byzantine_agreement(
+                [0, 1, 0, 1],
+                cfg,
+                coin=("ideal", 1.0),
+                scheduler=VoteBalancingScheduler(cfg),
+                max_rounds=30,
+            )
+            assert result.terminated and result.agreed
+
+    def test_moderate_epsilon_escapes_balancing_schedule(self):
+        """ε < 1: one agreeing coin flip is enough to unify — the stuck
+        probability decays geometrically (but never to 0, unlike SVSS)."""
+        from repro.adversary.schedulers import VoteBalancingScheduler
+
+        done = 0
+        for seed in range(6):
+            cfg = SystemConfig(n=4, seed=seed)
+            result = run_byzantine_agreement(
+                [0, 1, 0, 1],
+                cfg,
+                coin=cr_coin(cfg, 0.5),
+                scheduler=VoteBalancingScheduler(cfg),
+                max_rounds=60,
+            )
+            done += result.terminated and result.agreed
+        assert done >= 5
+
+    def test_unanimous_inputs_immune_to_coin(self):
+        """Validity does not depend on the coin at all."""
+        cfg = SystemConfig(n=4, seed=5)
+        result = run_byzantine_agreement(
+            [1, 1, 1, 1], cfg, coin=cr_coin(cfg, 1.0), max_rounds=25
+        )
+        assert result.agreed and result.decision == 1

@@ -1,0 +1,214 @@
+"""Robustness of the VSS manager's ingestion path against byzantine
+garbage, plus the delayed-queue release machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.api import build_stack
+from repro.core.manager import VALUE_KINDS, CallbackWatcher
+from repro.core.sessions import mw_session, svss_session
+from repro.errors import ProtocolError
+
+
+def make_stack(seed=0):
+    return build_stack(SystemConfig(n=4, seed=seed))
+
+
+class TestGarbageIngestion:
+    """Raw hostile payloads must never crash or corrupt honest state."""
+
+    def _flood(self, stack, payloads):
+        host = stack.runtime.host(2)
+        for payload in payloads:
+            host.send_all(payload, "vss")
+        stack.runtime.run_to_quiescence()
+
+    def test_malformed_private_vss_messages(self):
+        stack = make_stack()
+        sid = mw_session(("solo", 0), 1, 2, "dm")
+        self._flood(
+            stack,
+            [
+                ("v",),  # too short
+                ("v", sid, "shl"),  # missing body
+                ("v", sid, "shl", "not-a-tuple"),
+                ("v", sid, "shl", (1, 2)),  # wrong arity
+                ("v", sid, "shl", (1, 2, 3, "x")),  # non-element
+                ("v", "bogus-sid", "shl", (1, 2, 3, 4)),
+                ("v", ("mw", 0, 99, 2, "dm"), "shl", (1, 2, 3, 4)),  # bad pid
+                ("v", sid, 42, (1, 2, 3, 4)),  # non-string kind
+                ("v", sid, "unknown-kind", (1, 2, 3, 4)),
+            ],
+        )
+        # the instance may exist (first contact) but holds no share data
+        inst = stack.vss[1].mw.get(sid)
+        assert inst is None or inst.share_vector is None
+
+    def test_malformed_svss_messages(self):
+        stack = make_stack()
+        sid = svss_session(("x", 0), 1)
+        self._flood(
+            stack,
+            [
+                ("v", sid, "rows", "garbage"),
+                ("v", sid, "rows", ((1, 2), (3,))),  # wrong arity
+                ("v", sid, "G", ((1, 2, 3), ())),  # private G is ignored kind
+            ],
+        )
+        inst = stack.vss[1].svss.get(sid)
+        assert inst is None or inst.g is None
+
+    def test_wrong_sender_messages_ignored(self):
+        """Share vectors claiming to come from a non-dealer are dropped."""
+        stack = make_stack()
+        sid = mw_session(("solo", 0), 1, 2, "dm")
+        host = stack.runtime.host(3)  # not the dealer
+        host.send_all(("v", sid, "shl", (1, 2, 3, 4)), "vss")
+        host.send_all(("v", sid, "mon", (1, 2)), "vss")
+        stack.runtime.run_to_quiescence()
+        for pid in (1, 2, 4):
+            inst = stack.vss[pid].mw.get(sid)
+            assert inst is None or inst.share_vector is None
+
+    def test_rb_only_kinds_rejected_on_private_channel(self):
+        """A faulty dealer must not equivocate membership sets by sending
+        them privately instead of via reliable broadcast."""
+        stack = make_stack()
+        svss_sid = svss_session(("x", 0), 2)
+        mw_sid = mw_session(("solo", 0), 2, 3, "dm")
+        host = stack.runtime.host(2)  # the dealer itself, spoofing
+        host.send_all(("v", svss_sid, "G", ((1, 2, 3), ((1, (2, 3, 4)),))), "vss")
+        host.send_all(("v", mw_sid, "M", (1, 2, 3)), "vss")
+        host.send_all(("v", mw_sid, "ok", None), "vss")
+        host.send_all(("v", mw_sid, "rv", ((1, 5),)), "vss")
+        stack.runtime.run_to_quiescence()
+        for pid in stack.config.pids:
+            svss_inst = stack.vss[pid].svss.get(svss_sid)
+            assert svss_inst is None or svss_inst.G_hat is None
+            mw_inst = stack.vss[pid].mw.get(mw_sid)
+            if mw_inst is not None:
+                assert mw_inst.M_hat is None
+                assert not mw_inst.ok_received
+                assert not mw_inst.rv_batches
+
+    def test_private_kinds_rejected_via_broadcast(self):
+        """Share vectors travel on private channels only; broadcasting one
+        must not populate anyone's state."""
+        stack = make_stack()
+        sid = mw_session(("solo", 0), 2, 3, "dm")
+        stack.broadcasts[2].broadcast(
+            (2, "vss", sid, "shl"), ("vss", sid, "shl", (1, 2, 3, 4))
+        )
+        stack.runtime.run_to_quiescence()
+        for pid in stack.config.pids:
+            inst = stack.vss[pid].mw.get(sid)
+            assert inst is None or inst.share_vector is None
+
+    def test_honest_session_survives_garbage_storm(self):
+        stack = make_stack(seed=3)
+        sid = mw_session(("solo", 7), 1, 2, "dm")
+        outputs = {}
+        for pid in stack.config.pids:
+            stack.vss[pid].register_watcher(
+                ("solo", 7),
+                CallbackWatcher(
+                    on_mw_output=lambda s, v, pid=pid: outputs.setdefault(pid, v)
+                ),
+            )
+        stack.vss[1].mw_share(sid, 5)
+        stack.vss[2].mw_moderate(sid, 5)
+        # byzantine garbage mid-flight, aimed at the same session
+        host = stack.runtime.host(4)
+        for i in range(20):
+            host.send_all(("v", sid, "cnf", f"garbage-{i}"), "vss")
+            host.send_all(("v", sid, "rv", ((1, "x"),)), "vss")
+        stack.runtime.run_to_quiescence()
+        for pid in stack.config.pids:
+            stack.vss[pid].mw_begin_reconstruct(sid)
+        stack.runtime.run_to_quiescence()
+        assert all(outputs[p] == 5 for p in stack.config.pids)
+
+
+class TestWatcherRegistry:
+    def test_duplicate_watcher_rejected(self):
+        stack = make_stack()
+        stack.vss[1].register_watcher("k", CallbackWatcher())
+        with pytest.raises(ProtocolError):
+            stack.vss[1].register_watcher("k", CallbackWatcher())
+
+    def test_callback_watcher_defaults_are_noops(self):
+        watcher = CallbackWatcher()
+        watcher.on_mw_share_complete(("sid",))
+        watcher.on_mw_output(("sid",), 1)
+        watcher.on_svss_share_complete(("sid",))
+        watcher.on_svss_output(("sid",), 1)
+
+
+class TestValueKinds:
+    def test_value_kinds_cover_all_data_messages(self):
+        """Every kind that carries polynomial data is filter-scoped; every
+        membership kind is not."""
+        assert {"shl", "mon", "mod", "cnf", "ms", "rv", "rows"} == set(VALUE_KINDS)
+        for membership in ("ack", "L", "M", "ok", "G"):
+            assert membership not in VALUE_KINDS
+
+    def test_membership_flows_from_suspected_sender(self):
+        """ack/L/M broadcasts flow even when a sender's value messages are
+        delayed — the liveness correction documented in DESIGN.md."""
+        from repro.core.dmm import DELAY, FORWARD
+
+        stack = make_stack()
+        mgr = stack.vss[1]
+        sid_old = mw_session(("solo", 0), 1, 2, "dm")
+        sid_new = mw_session(("solo", 1), 1, 2, "dm")
+        mgr._ensure_mw(sid_old)
+        mgr.dmm.expect_ack(3, sid_old, monitor=2, value=9)
+        mgr.clock.note_complete(sid_old)
+        mgr.dmm.on_session_reconstructed(sid_old)
+        mgr._ensure_mw(sid_new)
+        # value message from 3 in the new session: delayed
+        assert mgr.dmm.filter_verdict(3, sid_new) == DELAY
+        # but the ingestion path only applies that verdict to VALUE_KINDS;
+        # feed an ack through _ingest and verify it reaches the instance
+        mgr._ingest(3, sid_new, "ack", None)
+        assert 3 in mgr.mw[sid_new].acks
+        # while a cnf from 3 is parked, not processed
+        mgr._ingest(3, sid_new, "cnf", 5)
+        assert 3 not in mgr.mw[sid_new].confirm_values
+        assert len(mgr._delayed) == 1
+
+    def test_parked_message_released_after_debt_paid(self):
+        stack = make_stack()
+        mgr = stack.vss[1]
+        sid_old = mw_session(("solo", 0), 1, 2, "dm")
+        sid_new = mw_session(("solo", 1), 1, 2, "dm")
+        mgr._ensure_mw(sid_old)
+        mgr.dmm.expect_ack(3, sid_old, monitor=2, value=9)
+        mgr.clock.note_complete(sid_old)
+        mgr.dmm.on_session_reconstructed(sid_old)
+        mgr._ensure_mw(sid_new)
+        mgr._ingest(3, sid_new, "cnf", 5)
+        assert len(mgr._delayed) == 1
+        # the owed reconstruct broadcast arrives and matches
+        mgr._ingest(3, sid_old, "rv", ((2, 9),))
+        assert len(mgr._delayed) == 0
+        assert mgr.mw[sid_new].confirm_values.get(3) == 5
+
+    def test_parked_message_discarded_after_conviction(self):
+        stack = make_stack()
+        mgr = stack.vss[1]
+        sid_old = mw_session(("solo", 0), 1, 2, "dm")
+        sid_new = mw_session(("solo", 1), 1, 2, "dm")
+        mgr._ensure_mw(sid_old)
+        mgr.dmm.expect_ack(3, sid_old, monitor=2, value=9)
+        mgr.clock.note_complete(sid_old)
+        mgr.dmm.on_session_reconstructed(sid_old)
+        mgr._ensure_mw(sid_new)
+        mgr._ingest(3, sid_new, "cnf", 5)
+        # the owed broadcast arrives and CONFLICTS: conviction
+        mgr._ingest(3, sid_old, "rv", ((2, 8),))
+        assert 3 in mgr.dmm.D
+        assert len(mgr._delayed) == 0
+        assert 3 not in mgr.mw[sid_new].confirm_values

@@ -1,0 +1,142 @@
+"""Shunning-mechanism tests: the budget argument behind Theorem 1.
+
+The paper's core counting argument: every broken MW-SVSS/SVSS invocation
+consumes at least one fresh (nonfaulty, faulty) shun pair, of which there
+are at most ``t * (n - t)``.  These tests exercise the budget, the delay
+machinery, and recovery (post-shun sessions behave like fault-free ones).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.behaviors import LyingReconstructorBehavior
+from repro.adversary.controller import Adversary
+from repro.config import SystemConfig
+from repro.core.api import build_stack
+from repro.core.manager import CallbackWatcher
+from repro.core.sessions import mw_session
+
+
+def run_sequential_mw_sessions(stack, cfg, dealer, moderator, secrets):
+    """Run MW-SVSS sessions back-to-back on one stack, reconstruct each."""
+    outputs_per_session = []
+    for c, secret in enumerate(secrets):
+        tag = ("seq", c)
+        sid = mw_session(tag, dealer, moderator, "dm")
+        completed, outputs = set(), {}
+        for pid in cfg.pids:
+            stack.vss[pid].register_watcher(
+                tag,
+                CallbackWatcher(
+                    on_mw_share_complete=lambda s, pid=pid: completed.add(pid),
+                    on_mw_output=lambda s, v, pid=pid: outputs.setdefault(pid, v),
+                ),
+            )
+        stack.vss[dealer].mw_share(sid, secret)
+        stack.vss[moderator].mw_moderate(sid, secret)
+        nonfaulty = set(stack.nonfaulty())
+        stack.runtime.run_until(lambda: nonfaulty <= completed, max_events=10_000_000)
+        for pid in cfg.pids:
+            try:
+                stack.vss[pid].mw_begin_reconstruct(sid)
+            except Exception:
+                pass
+        stack.runtime.run_until(
+            lambda: nonfaulty <= set(outputs), max_events=10_000_000
+        )
+        outputs_per_session.append(outputs)
+    return outputs_per_session
+
+
+class TestShunBudget:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_shun_pairs_bounded_under_persistent_liar(self, seed):
+        """A liar that corrupts every reconstruct broadcast across many
+        sessions can never accumulate more than t(n-t) shun pairs."""
+        cfg = SystemConfig(n=4, seed=seed)
+        liar = 3
+        adversary = Adversary(
+            {liar: LyingReconstructorBehavior(random.Random(seed))}
+        )
+        stack = build_stack(cfg, adversary=adversary)
+        run_sequential_mw_sessions(stack, cfg, dealer=1, moderator=2, secrets=range(8))
+        pairs = stack.trace.shun_pairs()
+        assert len(pairs) <= cfg.t * (cfg.n - cfg.t)
+        assert all(culprit == liar for _, culprit in pairs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_liar_is_eventually_neutralized(self, seed):
+        """Once every affected process has convicted the liar, later
+        sessions reconstruct correctly: the protocol self-heals."""
+        cfg = SystemConfig(n=4, seed=seed + 10)
+        liar = 3
+        adversary = Adversary(
+            {liar: LyingReconstructorBehavior(random.Random(seed))}
+        )
+        stack = build_stack(cfg, adversary=adversary)
+        outputs = run_sequential_mw_sessions(
+            stack, cfg, dealer=1, moderator=2, secrets=range(10)
+        )
+        honest = [p for p in cfg.pids if p != liar]
+        # In the last sessions the liar is in everyone's D set (or silently
+        # delayed), so reconstruction is clean.
+        last = outputs[-1]
+        assert all(last[p] == 9 for p in honest), last
+
+    def test_shun_records_name_real_culprits_only(self):
+        for seed in range(3):
+            cfg = SystemConfig(n=4, seed=seed + 30)
+            liar = 2
+            adversary = Adversary(
+                {liar: LyingReconstructorBehavior(random.Random(seed))}
+            )
+            stack = build_stack(cfg, adversary=adversary)
+            run_sequential_mw_sessions(
+                stack, cfg, dealer=1, moderator=4, secrets=range(4)
+            )
+            # Lemma 1(a): only faulty processes ever land in a D set.
+            for observer, culprit in stack.trace.shun_pairs():
+                assert culprit == liar
+                assert observer != liar
+
+
+class TestNoFalseShuns:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fault_free_runs_never_shun(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        stack = build_stack(cfg)
+        run_sequential_mw_sessions(stack, cfg, dealer=1, moderator=2, secrets=range(5))
+        assert stack.trace.shun_pairs() == set()
+        for pid in cfg.pids:
+            assert stack.vss[pid].dmm.D == set()
+
+    def test_slow_honest_process_not_convicted(self):
+        from repro.sim.scheduler import ExponentialDelayScheduler, TargetedDelayScheduler
+
+        cfg = SystemConfig(n=4, seed=5)
+        sched = TargetedDelayScheduler(
+            ExponentialDelayScheduler(cfg.derive_rng("s"), mean=1.0),
+            victims={3},
+            factor=100.0,
+        )
+        stack = build_stack(cfg, scheduler=sched)
+        run_sequential_mw_sessions(stack, cfg, dealer=1, moderator=2, secrets=range(3))
+        for pid in cfg.pids:
+            assert stack.vss[pid].dmm.D == set()
+
+
+class TestDelayedRelease:
+    def test_expectations_cleared_after_each_session(self):
+        """In fault-free runs, every expectation raised during a session is
+        eventually discharged — nobody stays suspected."""
+        cfg = SystemConfig(n=4, seed=2)
+        stack = build_stack(cfg)
+        run_sequential_mw_sessions(stack, cfg, dealer=1, moderator=2, secrets=range(3))
+        stack.runtime.run_to_quiescence()
+        for pid in cfg.pids:
+            dmm = stack.vss[pid].dmm
+            suspected = dmm.shunned_or_suspected()
+            assert suspected == set(), f"pid {pid} still suspects {suspected}"

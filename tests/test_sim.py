@@ -1,0 +1,274 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.runtime import Runtime
+from repro.sim.scheduler import (
+    ExponentialDelayScheduler,
+    FifoScheduler,
+    IntermittentPartitionScheduler,
+    Scheduler,
+    TargetedDelayScheduler,
+    UniformDelayScheduler,
+)
+from repro.sim.tracing import Trace, estimate_size
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, 1, 2, "late")
+        q.push(1.0, 1, 2, "early")
+        assert q.pop()[4] == "early"
+        assert q.pop()[4] == "late"
+
+    def test_ties_broken_by_sequence(self):
+        q = EventQueue()
+        q.push(1.0, 1, 2, "first")
+        q.push(1.0, 1, 2, "second")
+        assert q.pop()[4] == "first"
+        assert q.pop()[4] == "second"
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, 1, 1, None)
+        assert q and len(q) == 1
+
+    def test_pushed_total_counts_all(self):
+        q = EventQueue()
+        for _ in range(5):
+            q.push(1.0, 1, 1, None)
+        q.pop()
+        assert q.pushed_total == 5
+
+
+class TestSchedulers:
+    def test_base_scheduler_unit_delay(self):
+        assert Scheduler().delay(1, 2, None, 0.0) == 1.0
+        assert FifoScheduler().delay(1, 2, None, 9.0) == 1.0
+
+    def test_uniform_in_range(self):
+        s = UniformDelayScheduler(random.Random(0), low=0.5, high=2.0)
+        for _ in range(200):
+            d = s.delay(1, 2, None, 0.0)
+            assert 0.5 <= d <= 2.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformDelayScheduler(random.Random(0), low=0, high=1)
+        with pytest.raises(ValueError):
+            UniformDelayScheduler(random.Random(0), low=2, high=1)
+
+    def test_exponential_positive(self):
+        s = ExponentialDelayScheduler(random.Random(0), mean=2.0)
+        assert all(s.delay(1, 2, None, 0.0) > 0 for _ in range(100))
+
+    def test_targeted_slows_victims(self):
+        base = FifoScheduler()
+        s = TargetedDelayScheduler(base, victims={3}, factor=50.0)
+        assert s.delay(1, 2, None, 0.0) == 1.0
+        assert s.delay(3, 2, None, 0.0) == 50.0
+        assert s.delay(2, 3, None, 0.0) == 50.0
+
+    def test_targeted_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            TargetedDelayScheduler(FifoScheduler(), {1}, factor=0.5)
+
+    def test_partition_holds_crossing_messages(self):
+        s = IntermittentPartitionScheduler(
+            FifoScheduler(), group={1, 2}, period=10.0, hold=5.0
+        )
+        # now=0: inside the partition window, crossing costs extra
+        assert s.delay(1, 3, None, 0.0) == 6.0
+        assert s.delay(1, 2, None, 0.0) == 1.0
+        # now=6: window open
+        assert s.delay(1, 3, None, 6.0) == 1.0
+
+    def test_describe_strings(self):
+        assert "Targeted" in TargetedDelayScheduler(FifoScheduler(), {1}).describe()
+        assert "Uniform" in UniformDelayScheduler(random.Random(0)).describe()
+
+
+class _Recorder:
+    """Minimal module recording deliveries on a host."""
+
+    def __init__(self, host, tag="ping"):
+        self.got = []
+        host.register_handler(tag, lambda src, payload: self.got.append((src, payload)))
+
+
+class TestRuntime:
+    def test_delivery(self):
+        cfg = SystemConfig(n=3, t=0, seed=0)
+        rt = Runtime(cfg)
+        rec = _Recorder(rt.host(2))
+        rt.host(1).send(2, ("ping", 42), "test")
+        rt.run_to_quiescence()
+        assert rec.got == [(1, ("ping", 42))]
+
+    def test_send_all_includes_self(self):
+        cfg = SystemConfig(n=3, t=0, seed=0)
+        rt = Runtime(cfg)
+        recs = {pid: _Recorder(rt.host(pid)) for pid in cfg.pids}
+        rt.host(1).send_all(("ping", 0), "test")
+        rt.run_to_quiescence()
+        assert all(len(r.got) == 1 for r in recs.values())
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            cfg = SystemConfig(n=4, seed=seed)
+            rt = Runtime(cfg)
+            order = []
+            for pid in cfg.pids:
+                rt.host(pid).register_handler(
+                    "m", lambda src, payload, pid=pid: order.append((pid, src, payload))
+                )
+            for pid in cfg.pids:
+                rt.host(pid).send_all(("m", pid), "test")
+            rt.run_to_quiescence()
+            return order
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_crashed_process_neither_sends_nor_receives(self):
+        cfg = SystemConfig(n=3, t=1, seed=0)
+        rt = Runtime(cfg)
+        rec = _Recorder(rt.host(2))
+        rt.host(1).crash()
+        rt.host(1).send(2, ("ping", 1), "test")
+        rt.host(2).send(1, ("ping", 1), "test")  # delivered to a corpse
+        rt.run_to_quiescence()
+        assert rec.got == []
+
+    def test_run_until_predicate(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+        rec = _Recorder(rt.host(2))
+        for _ in range(10):
+            rt.host(1).send(2, ("ping", 0), "test")
+        dispatched = rt.run_until(lambda: len(rec.got) >= 3)
+        assert len(rec.got) == 3
+        assert dispatched == 3
+
+    def test_run_until_deadlock_raises(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+        with pytest.raises(DeadlockError):
+            rt.run_until(lambda: False)
+
+    def test_max_events_guard(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+
+        # ping-pong forever
+        def bounce(src, payload, me):
+            rt.host(me).send(3 - me, payload, "test")
+
+        rt.host(1).register_handler("b", lambda s, p: bounce(s, p, 1))
+        rt.host(2).register_handler("b", lambda s, p: bounce(s, p, 2))
+        rt.host(1).send(2, ("b",), "test")
+        with pytest.raises(SimulationError):
+            rt.run_to_quiescence(max_events=1000)
+
+    def test_bad_scheduler_delay_rejected(self):
+        class Broken(Scheduler):
+            def delay(self, src, dst, payload, now):
+                return 0.0
+
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg, scheduler=Broken())
+        with pytest.raises(SimulationError):
+            rt.host(1).send(2, ("x",), "test")
+
+    def test_unknown_destination_rejected(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+        with pytest.raises(SimulationError):
+            rt.host(1).send(99, ("x",), "test")
+
+    def test_malformed_payloads_dropped(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+        rec = _Recorder(rt.host(2))
+        rt.host(1).send(2, ("unknown-tag", 1), "test")
+        rt.run_to_quiescence()
+        assert rec.got == []
+
+    def test_outbound_filter_drop_and_multiply(self):
+        cfg = SystemConfig(n=2, t=1, seed=0)
+        rt = Runtime(cfg)
+        rec = _Recorder(rt.host(2))
+        host = rt.host(1)
+        host.outbound_filter = lambda dst, payload: None
+        host.send(2, ("ping", 1), "test")
+        host.outbound_filter = lambda dst, payload: [payload, payload, payload]
+        host.send(2, ("ping", 2), "test")
+        rt.run_to_quiescence()
+        assert [p for _, p in rec.got] == [("ping", 2)] * 3
+
+    def test_sim_time_advances_monotonically(self):
+        cfg = SystemConfig(n=3, t=0, seed=1)
+        rt = Runtime(cfg)
+        times = []
+        for pid in cfg.pids:
+            rt.host(pid).register_handler("m", lambda s, p: times.append(rt.now))
+        for pid in cfg.pids:
+            rt.host(pid).send_all(("m",), "test")
+        rt.run_to_quiescence()
+        assert times == sorted(times)
+        assert rt.now > 0
+
+
+class TestTracing:
+    def test_message_counting_by_layer(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+        rt.host(1).send(2, ("x",), "alpha")
+        rt.host(1).send(2, ("x",), "alpha")
+        rt.host(1).send(2, ("x",), "beta")
+        assert rt.trace.messages_by_layer == {"alpha": 2, "beta": 1}
+        assert rt.trace.total_messages == 3
+
+    def test_bytes_only_when_enabled(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+        rt.host(1).send(2, ("x", 123456789), "alpha")
+        assert rt.trace.total_bytes == 0
+        rt.trace.measure_bytes = True
+        rt.host(1).send(2, ("x", 123456789), "alpha")
+        assert rt.trace.total_bytes > 0
+
+    def test_estimate_size_shapes(self):
+        # small ints are ids, big ints are field elements
+        assert estimate_size(3, 4, 10) == 2
+        assert estimate_size(123456, 4, 10) == 4
+        assert estimate_size("abc", 4, 10) == 3
+        assert estimate_size(None, 4, 10) == 1
+        flat = estimate_size((1, 2), 4, 10)
+        nested = estimate_size((1, (2, 3)), 4, 10)
+        assert nested > flat
+        assert estimate_size({1: 2}, 4, 10) >= 5
+
+    def test_shun_recording(self):
+        trace = Trace()
+        trace.record_shun(1, 2, ("s",), 0.0)
+        trace.record_shun(1, 2, ("s2",), 1.0)
+        trace.record_shun(3, 2, ("s",), 2.0)
+        assert len(trace.shun_records) == 3
+        assert trace.shun_pairs() == {(1, 2), (3, 2)}
+
+    def test_summary_keys(self):
+        trace = Trace()
+        trace.record_send("x", ("p",))
+        s = trace.summary()
+        assert s["total_messages"] == 1
+        assert "shun_pairs" in s and "events_dispatched" in s

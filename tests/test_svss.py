@@ -1,0 +1,230 @@
+"""Integration tests for SVSS (paper §4) against its §2.1 properties."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.behaviors import (
+    CrashBehavior,
+    EquivocatingDealerBehavior,
+    LyingReconstructorBehavior,
+    MutatingBehavior,
+    SilentBehavior,
+)
+from repro.adversary.controller import Adversary
+from repro.config import SystemConfig
+from repro.core.api import build_stack, run_svss
+from repro.core.mwsvss import BOTTOM
+from repro.core.sessions import svss_session
+from repro.poly.bivariate import masking_polynomial
+from repro.sim.scheduler import ExponentialDelayScheduler, TargetedDelayScheduler
+
+
+class TestValidityOfTermination:
+    """Property 1: an honest dealer's share completes everywhere."""
+
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_share_completes(self, n):
+        cfg = SystemConfig(n=n, seed=n)
+        result, _ = run_svss(cfg, dealer=1, secret=42, reconstruct=False)
+        assert result.share_completed == set(cfg.pids)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_under_heavy_reordering(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        sched = ExponentialDelayScheduler(cfg.derive_rng("s"), mean=8.0)
+        result, _ = run_svss(cfg, dealer=2, secret=7, reconstruct=False, scheduler=sched)
+        assert result.share_completed == set(cfg.pids)
+
+
+class TestValidity:
+    """Property 4: honest dealer — every honest output is s, or a shun."""
+
+    @pytest.mark.parametrize("n,secret", [(4, 0), (4, 99), (7, 123456)])
+    def test_reconstructs_secret(self, n, secret):
+        cfg = SystemConfig(n=n, seed=n + secret)
+        result, _ = run_svss(cfg, dealer=1, secret=secret)
+        assert result.outputs == {pid: secret for pid in cfg.pids}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_silent_process(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        adversary = Adversary({4: SilentBehavior()})
+        result, _ = run_svss(cfg, dealer=1, secret=5, adversary=adversary)
+        for pid in (1, 2, 3):
+            assert result.outputs[pid] == 5
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_crash(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        adversary = Adversary({3: CrashBehavior(after_messages=100)})
+        result, _ = run_svss(cfg, dealer=1, secret=5, adversary=adversary)
+        for pid in (1, 2, 4):
+            assert result.outputs[pid] == 5
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_validity_or_shun_with_lying_reconstructor(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        liar = 2
+        adversary = Adversary({liar: LyingReconstructorBehavior(random.Random(seed))})
+        result, _ = run_svss(cfg, dealer=1, secret=42, adversary=adversary)
+        honest = [p for p in cfg.pids if p != liar]
+        for pid in honest:
+            if pid in result.outputs and result.outputs[pid] != 42:
+                assert any(c == liar for _, c in result.trace.shun_pairs())
+
+
+class TestBinding:
+    """Property 3: even a faulty dealer is bound to a single value r once
+    the first honest process completes the share — or a shun happens."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivocating_dealer_binding_or_shun(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        dealer = 1
+        adversary = Adversary({dealer: EquivocatingDealerBehavior(random.Random(seed))})
+        result, _ = run_svss(cfg, dealer=dealer, secret=42, adversary=adversary)
+        honest = [p for p in cfg.pids if p != dealer]
+        outputs = {result.outputs[p] for p in honest if p in result.outputs}
+        # Binding: all honest processes that produce an output agree —
+        # BOTTOM included, since SVSS binding fixes one shared r — unless a
+        # fresh shun pair appeared.
+        if len(outputs) > 1:
+            assert any(c == dealer for _, c in result.trace.shun_pairs())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mutating_dealer(self, seed):
+        cfg = SystemConfig(n=4, seed=seed + 100)
+        dealer = 3
+        adversary = Adversary({dealer: MutatingBehavior(random.Random(seed), rate=0.25)})
+        result, _ = run_svss(cfg, dealer=dealer, secret=9, adversary=adversary)
+        honest = [p for p in cfg.pids if p != dealer]
+        outputs = {result.outputs[p] for p in honest if p in result.outputs}
+        if len(outputs) > 1:
+            assert result.trace.shun_pairs()
+
+
+class TestTermination:
+    """Property 2: completion propagates; R completes if all begin it."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_straggler_catches_up(self, seed):
+        cfg = SystemConfig(n=4, seed=seed)
+        sched = TargetedDelayScheduler(
+            ExponentialDelayScheduler(cfg.derive_rng("s"), mean=1.0),
+            victims={2},
+            factor=300.0,
+        )
+        result, _ = run_svss(cfg, dealer=1, secret=6, scheduler=sched)
+        assert result.share_completed == set(cfg.pids)
+        assert result.outputs == {pid: 6 for pid in cfg.pids}
+
+
+class TestHiding:
+    """Property 5: before reconstruct, any t processes' joint view is
+    consistent with every candidate secret (constructive proof)."""
+
+    def test_corrupt_rows_consistent_with_every_secret(self):
+        cfg = SystemConfig(n=4, seed=5, prime=13)
+        secret = 4
+        result, stack = run_svss(cfg, dealer=1, secret=secret, reconstruct=False)
+        sid = result.session
+        corrupt = 3
+        inst = stack.vss[corrupt].svss[sid]
+        dealer_inst = stack.vss[1].svss[sid]
+        f = dealer_inst._bivar
+        assert inst.g == f.row(corrupt)
+        assert inst.h == f.column(corrupt)
+        q = masking_polynomial(cfg.field, cfg.t, [corrupt])
+        for s_prime in range(cfg.prime):
+            f_alt = f + q.scale((s_prime - secret) % cfg.prime)
+            assert f_alt.secret == s_prime
+            # the corrupt process' whole row/column view is unchanged
+            assert f_alt.row(corrupt) == inst.g
+            assert f_alt.column(corrupt) == inst.h
+
+    def test_secret_values_uniform_across_seeds(self):
+        counts = {}
+        for seed in range(60):
+            cfg = SystemConfig(n=4, seed=seed, prime=13)
+            result, stack = run_svss(cfg, dealer=1, secret=5, reconstruct=False)
+            inst = stack.vss[2].svss[result.session]
+            key = inst.g(0)  # f(2, 0): one point of the corrupt view
+            counts[key] = counts.get(key, 0) + 1
+        assert max(counts.values()) < 18
+
+
+class TestStructure:
+    def test_g_sets_structure(self):
+        cfg = SystemConfig(n=4, seed=1)
+        result, stack = run_svss(cfg, dealer=1, secret=3, reconstruct=False)
+        inst = stack.vss[2].svss[result.session]
+        assert inst.G_hat is not None
+        assert len(inst.G_hat) >= cfg.n - cfg.t
+        for j in inst.G_hat:
+            assert len(inst.G_hat_map[j]) >= cfg.n - cfg.t
+
+    def test_outputs_only_after_reconstruct(self):
+        cfg = SystemConfig(n=4, seed=1)
+        result, stack = run_svss(cfg, dealer=1, secret=3, reconstruct=False)
+        assert result.outputs == {}
+
+    def test_dealer_cannot_double_share(self):
+        from repro.errors import ProtocolError
+
+        cfg = SystemConfig(n=4, seed=1)
+        stack = build_stack(cfg)
+        sid = svss_session(("x", 0), 1)
+        stack.vss[1].svss_share(sid, 1)
+        with pytest.raises(ProtocolError):
+            stack.vss[1].svss_share(sid, 2)
+
+    def test_non_dealer_cannot_share(self):
+        from repro.errors import ProtocolError
+
+        cfg = SystemConfig(n=4, seed=1)
+        stack = build_stack(cfg)
+        with pytest.raises(ProtocolError):
+            stack.vss[2].svss_share(svss_session(("x", 0), 1), 1)
+
+    def test_reconstruct_requires_completed_share(self):
+        from repro.errors import ProtocolError
+
+        cfg = SystemConfig(n=4, seed=1)
+        stack = build_stack(cfg)
+        sid = svss_session(("x", 0), 1)
+        with pytest.raises(ProtocolError):
+            stack.vss[1].svss_begin_reconstruct(sid)
+
+    def test_concurrent_sessions_independent(self):
+        cfg = SystemConfig(n=4, seed=2)
+        stack = build_stack(cfg)
+        from repro.core.manager import CallbackWatcher
+
+        outs: dict[tuple, dict[int, object]] = {}
+        for c, dealer, secret in ((0, 1, 10), (1, 2, 20), (2, 3, 30)):
+            tag = ("multi", c)
+            outs[tag] = {}
+            for pid in cfg.pids:
+                stack.vss[pid].register_watcher(
+                    tag,
+                    CallbackWatcher(
+                        on_svss_output=lambda s, v, pid=pid, tag=tag: outs[
+                            tag
+                        ].setdefault(pid, v)
+                    ),
+                )
+        for c, dealer, secret in ((0, 1, 10), (1, 2, 20), (2, 3, 30)):
+            stack.vss[dealer].svss_share(svss_session(("multi", c), dealer), secret)
+        stack.runtime.run_to_quiescence()
+        for c, dealer, secret in ((0, 1, 10), (1, 2, 20), (2, 3, 30)):
+            for pid in cfg.pids:
+                stack.vss[pid].svss_begin_reconstruct(
+                    svss_session(("multi", c), dealer)
+                )
+        stack.runtime.run_to_quiescence()
+        assert outs[("multi", 0)] == {pid: 10 for pid in cfg.pids}
+        assert outs[("multi", 1)] == {pid: 20 for pid in cfg.pids}
+        assert outs[("multi", 2)] == {pid: 30 for pid in cfg.pids}
