@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+import time
+
 from repro.adversary.controller import Adversary
 from repro.config import SystemConfig
 from repro.core.api import (
@@ -10,6 +14,27 @@ from repro.core.api import (
     run_mwsvss,
     run_svss,
 )
+
+#: Repo root — ``BENCH_*.json`` perf artifacts live here so the trajectory
+#: of every optimisation PR is a committed, diffable file.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a benchmark payload as ``BENCH_<name>.json`` at the repo root."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def best_of(callable_, repeats: int = 5) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def measure_agreement_rounds(

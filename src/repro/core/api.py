@@ -37,7 +37,7 @@ from repro.core.sessions import mw_session, svss_session
 from repro.errors import ConfigurationError, DeadlockError, ProtocolError
 from repro.sim.runtime import DEFAULT_MAX_EVENTS, Runtime
 from repro.sim.scheduler import Scheduler
-from repro.sim.tracing import Trace
+from repro.sim.tracing import TRACE_COUNTS, TRACE_FULL, Trace
 
 CoinSpec = object  # str | tuple | callable
 
@@ -68,9 +68,20 @@ def build_stack(
     adversary: Adversary | None = None,
     with_vss: bool = True,
     measure_bytes: bool = False,
+    trace_level: int = TRACE_FULL,
 ) -> Stack:
-    """Assemble runtime, broadcast and (optionally) VSS for every process."""
-    runtime = Runtime(config, scheduler=scheduler)
+    """Assemble runtime, broadcast and (optionally) VSS for every process.
+
+    ``trace_level`` (:data:`~repro.sim.tracing.TRACE_FULL` by default) can
+    be lowered to :data:`~repro.sim.tracing.TRACE_OFF` for wall-clock
+    benchmarks: the runtime then skips all per-message accounting.
+    """
+    if measure_bytes and trace_level < TRACE_COUNTS:
+        raise ConfigurationError(
+            "measure_bytes=True needs trace_level >= TRACE_COUNTS; "
+            "a disabled trace would silently record zero bytes"
+        )
+    runtime = Runtime(config, scheduler=scheduler, trace_level=trace_level)
     runtime.trace.measure_bytes = measure_bytes
     broadcasts = {}
     vss = {}
@@ -166,6 +177,7 @@ def run_byzantine_agreement(
     max_events: int = DEFAULT_MAX_EVENTS,
     tag: str = "aba",
     measure_bytes: bool = False,
+    trace_level: int = TRACE_FULL,
 ) -> AgreementResult:
     """Run one asynchronous Byzantine agreement to completion.
 
@@ -181,6 +193,7 @@ def run_byzantine_agreement(
         adversary=adversary,
         with_vss=needs_vss,
         measure_bytes=measure_bytes,
+        trace_level=trace_level,
     )
     coins = _make_coins(stack, coin)
     if isinstance(inputs, dict):
@@ -261,9 +274,12 @@ def run_mwsvss(
     reconstruct: bool = True,
     max_events: int = DEFAULT_MAX_EVENTS,
     counter: int = 0,
+    trace_level: int = TRACE_FULL,
 ) -> tuple[VSSResult, Stack]:
     """Run one standalone MW-SVSS session (share, then optionally R')."""
-    stack = build_stack(config, scheduler=scheduler, adversary=adversary)
+    stack = build_stack(
+        config, scheduler=scheduler, adversary=adversary, trace_level=trace_level
+    )
     sid = mw_session(("solo", counter), dealer, moderator, "dm")
     completed: set[int] = set()
     outputs: dict[int, object] = {}
@@ -316,9 +332,12 @@ def run_svss(
     reconstruct: bool = True,
     max_events: int = DEFAULT_MAX_EVENTS,
     counter: int = 0,
+    trace_level: int = TRACE_FULL,
 ) -> tuple[VSSResult, Stack]:
     """Run one standalone SVSS session (share, then optionally R)."""
-    stack = build_stack(config, scheduler=scheduler, adversary=adversary)
+    stack = build_stack(
+        config, scheduler=scheduler, adversary=adversary, trace_level=trace_level
+    )
     tag = ("solo-svss", counter)
     sid = svss_session(tag, dealer)
     completed: set[int] = set()
@@ -378,10 +397,13 @@ def flip_common_coin(
     scheduler: Scheduler | None = None,
     session: int = 0,
     max_events: int = DEFAULT_MAX_EVENTS,
+    trace_level: int = TRACE_FULL,
 ) -> tuple[CoinResult, Stack]:
     """Run one full SVSS-based shunning common coin invocation."""
     config.require_optimal_resilience()
-    stack = build_stack(config, scheduler=scheduler, adversary=adversary)
+    stack = build_stack(
+        config, scheduler=scheduler, adversary=adversary, trace_level=trace_level
+    )
     coins = _make_coins(stack, "svss")
     csid = ("cc", "solo", session)
     outputs: dict[int, int] = {}

@@ -242,7 +242,9 @@ class CommonCoinModule(CoinSource):
             if deviation is not None:
                 secret = deviation(csid, slot, secret, session.u) % session.u
             self.vss.svss_share(svss_session((csid, slot), self.pid), secret)
-        self.host.runtime.trace.record_event("coin.join")
+        trace = self.host.runtime.trace
+        if trace.records_events:
+            trace.record_event("coin.join")
 
     def release(self, csid: tuple) -> None:
         """Unblock the reveal stage (caller's round position is fixed)."""
@@ -390,7 +392,10 @@ class CommonCoinModule(CoinSource):
             session.party_values[j] == 0 for j in session.eval_set
         )
         session.output = 0 if zero_seen else 1
-        self.host.runtime.trace.record_event(f"coin.output.{session.output}")
+        trace = self.host.runtime.trace
+        if trace.records_events:
+            # Guarded so no-trace benchmark runs skip the f-string build too.
+            trace.record_event(f"coin.output.{session.output}")
         callbacks = session.callbacks
         session.callbacks = []
         for callback in callbacks:

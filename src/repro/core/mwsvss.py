@@ -31,11 +31,8 @@ from typing import TYPE_CHECKING
 
 from repro.core.sessions import mw_dealer, mw_moderator
 from repro.errors import ProtocolError
-from repro.poly.univariate import (
-    Polynomial,
-    interpolate_degree_t,
-    lagrange_interpolate,
-)
+from repro.poly.fastpath import interpolate_values
+from repro.poly.univariate import Polynomial, interpolate_degree_t
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manager import VSSManager
@@ -133,17 +130,21 @@ class MWSVSSInstance:
         host = self.manager.host
         corrupt_values = host.deviation("corrupt_mw_share_values")
         eval_points = list(range(1, self.t + 2))
-        for j in range(1, self.n + 1):
-            values = [sub[l - 1](j) for l in range(1, self.n + 1)]
+        pids = list(range(1, self.n + 1))
+        # One multi-point pass per sub-polynomial over the cached power
+        # tables; rows[l-1][j-1] == f_l(j).
+        rows = [sub[l - 1].evaluate_many(pids) for l in pids]
+        for j in pids:
+            values = [rows[l - 1][j - 1] for l in pids]
             if corrupt_values is not None:
                 values = corrupt_values(self.sid, j, values, field.prime)
             host.send(j, ("v", self.sid, "shl", tuple(values)), "vss")
-        for l in range(1, self.n + 1):
-            mon = tuple(sub[l - 1](x) for x in eval_points)
+        for l in pids:
+            mon = tuple(rows[l - 1][: self.t + 1])
             host.send(l, ("v", self.sid, "mon", mon), "vss")
         host.send(
             self.moderator,
-            ("v", self.sid, "mod", tuple(f(x) for x in eval_points)),
+            ("v", self.sid, "mod", tuple(f.evaluate_many(eval_points))),
             "vss",
         )
 
@@ -206,8 +207,9 @@ class MWSVSSInstance:
             return
         if not self._is_value_tuple(body, self.t + 1):
             return
-        points = list(zip(range(1, self.t + 2), body))
-        self.monitor_poly = lagrange_interpolate(self.field, points)
+        self.monitor_poly = interpolate_values(
+            self.field, range(1, self.t + 2), body
+        )
         self._maybe_step2()
         for l in list(self.confirm_values):
             self._maybe_step3(l)
@@ -278,8 +280,9 @@ class MWSVSSInstance:
             return
         if self.moderator_poly is not None or not self._is_value_tuple(body, self.t + 1):
             return
-        points = list(zip(range(1, self.t + 2), body))
-        self.moderator_poly = lagrange_interpolate(self.field, points)
+        self.moderator_poly = interpolate_values(
+            self.field, range(1, self.t + 2), body
+        )
         self._recheck_moderator()
 
     def _on_moderator_share(self, src: int, body: object) -> None:
@@ -375,8 +378,9 @@ class MWSVSSInstance:
         dmm = self.manager.dmm
         for j in self.M_hat:
             f_j = self._deal_polys[j]
-            for l in self.L_hat[j]:
-                dmm.expect_ack(l, self.sid, j, f_j(l))
+            members = sorted(self.L_hat[j])
+            for l, value in zip(members, f_j.evaluate_many(members)):
+                dmm.expect_ack(l, self.sid, j, value)
         if self.manager.host.deviation("skip_mw_ok") is not None:
             return
         self.manager.rb_broadcast(self.sid, "ok", None)
@@ -453,7 +457,15 @@ class MWSVSSInstance:
                     continue
                 points.append((sender, value))
                 if len(points) == self.t + 1 and l not in self.f_bar:
-                    self.f_bar[l] = lagrange_interpolate(self.field, points)
+                    # Sorted so delivery order cannot fragment the basis
+                    # cache: sender sets repeat across monitors and
+                    # sessions, and the cache key is the ordered node tuple.
+                    pts = sorted(points)
+                    self.f_bar[l] = interpolate_values(
+                        self.field,
+                        [k for k, _ in pts],
+                        [v for _, v in pts],
+                    )
 
     def _maybe_output(self) -> None:
         """R' step 4: interpolate ``f̄`` through the monitors' free terms."""

@@ -23,11 +23,8 @@ from repro.core.mwsvss import BOTTOM
 from repro.core.sessions import mw_session, svss_dealer
 from repro.errors import ProtocolError
 from repro.poly.bivariate import BivariatePolynomial
-from repro.poly.univariate import (
-    Polynomial,
-    interpolate_degree_t,
-    lagrange_interpolate,
-)
+from repro.poly.fastpath import interpolate_values
+from repro.poly.univariate import Polynomial, interpolate_degree_t
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manager import VSSManager
@@ -98,8 +95,8 @@ class SVSSInstance:
         for j in range(1, self.n + 1):
             g_j = self._bivar.row(j)
             h_j = self._bivar.column(j)
-            row_vals = [g_j(x) for x in xs]
-            col_vals = [h_j(x) for x in xs]
+            row_vals = g_j.evaluate_many(xs)
+            col_vals = h_j.evaluate_many(xs)
             if corrupt is not None:
                 row_vals, col_vals = corrupt(
                     self.sid, j, row_vals, col_vals, self.field.prime
@@ -141,9 +138,9 @@ class SVSSInstance:
             or not all(self._is_value_tuple(part) for part in body)
         ):
             return
-        xs = list(range(1, self.t + 2))
-        self.g = lagrange_interpolate(self.field, list(zip(xs, body[0])))
-        self.h = lagrange_interpolate(self.field, list(zip(xs, body[1])))
+        xs = range(1, self.t + 2)
+        self.g = interpolate_values(self.field, xs, body[0])
+        self.h = interpolate_values(self.field, xs, body[1])
         self._participate()
 
     def _participate(self) -> None:

@@ -12,7 +12,8 @@ from random import Random
 
 from repro.errors import PolynomialError
 from repro.field.gf import Field
-from repro.poly.univariate import Polynomial, lagrange_interpolate
+from repro.poly.fastpath import lagrange_basis, power_table
+from repro.poly.univariate import Polynomial
 
 
 class BivariatePolynomial:
@@ -57,14 +58,18 @@ class BivariatePolynomial:
     # -- evaluation -----------------------------------------------------------
     def __call__(self, x: int, y: int) -> int:
         prime = self.field.prime
-        # Horner in x over row-evaluations in y.
+        # Dot products against the cached power tables of x and y: the
+        # reconstruct cross-checks evaluate f at every survivor pair, so
+        # the power chains are shared across all those calls.
+        x_powers = power_table(self.field, x % prime).up_to(self.t + 1)
+        y_powers = power_table(self.field, y % prime).up_to(self.t + 1)
         acc = 0
-        for row in reversed(self.coeffs):
+        for row, x_pow in zip(self.coeffs, x_powers):
             row_val = 0
-            for c in reversed(row):
-                row_val = (row_val * y + c) % prime
-            acc = (acc * x + row_val) % prime
-        return acc
+            for c, y_pow in zip(row, y_powers):
+                row_val += c * y_pow
+            acc += (row_val % prime) * x_pow
+        return acc % prime
 
     @property
     def secret(self) -> int:
@@ -74,25 +79,23 @@ class BivariatePolynomial:
     def row(self, j: int) -> Polynomial:
         """``g_j(y) = f(j, y)`` as a univariate polynomial in ``y``."""
         prime = self.field.prime
+        powers = power_table(self.field, j % prime).up_to(self.t + 1)
         out = [0] * (self.t + 1)
-        x_pow = 1
-        for row in self.coeffs:
+        for row, x_pow in zip(self.coeffs, powers):
             for k, c in enumerate(row):
-                out[k] = (out[k] + c * x_pow) % prime
-            x_pow = (x_pow * j) % prime
-        return Polynomial(self.field, out)
+                out[k] += c * x_pow
+        return Polynomial(self.field, [v % prime for v in out])
 
     def column(self, j: int) -> Polynomial:
         """``h_j(x) = f(x, j)`` as a univariate polynomial in ``x``."""
         prime = self.field.prime
+        powers = power_table(self.field, j % prime).up_to(self.t + 1)
         out = [0] * (self.t + 1)
         for i, row in enumerate(self.coeffs):
-            y_pow = 1
             total = 0
-            for c in row:
-                total = (total + c * y_pow) % prime
-                y_pow = (y_pow * j) % prime
-            out[i] = total
+            for c, y_pow in zip(row, powers):
+                total += c * y_pow
+            out[i] = total % prime
         return Polynomial(self.field, out)
 
     # -- algebra ----------------------------------------------------------------
@@ -151,20 +154,19 @@ class BivariatePolynomial:
             raise PolynomialError("duplicate row indices")
         prime = field.prime
         coeffs = [[0] * (t + 1) for _ in range(t + 1)]
-        for k, g_k in rows:
+        # λ_k(x) coefficient rows over the node set, from the shared cache:
+        # one O(t^2) build per distinct row-index set, then pure reuse.
+        basis_rows = lagrange_basis(field, xs).basis_rows
+        for (k, g_k), basis_coeffs in zip(rows, basis_rows):
             if g_k.degree > t:
                 raise PolynomialError(f"row {k} has degree {g_k.degree} > t={t}")
-            # λ_k(x): the Lagrange basis polynomial over xs that is 1 at k.
-            basis_points = [(x, 1 if x == k else 0) for x in xs]
-            basis = lagrange_interpolate(field, basis_points)
-            basis_coeffs = list(basis.coeffs) + [0] * (t + 1 - len(basis.coeffs))
             row_coeffs = list(g_k.coeffs) + [0] * (t + 1 - len(g_k.coeffs))
-            for i in range(t + 1):
-                b = basis_coeffs[i]
+            for i, b in enumerate(basis_coeffs):
                 if b == 0:
                     continue
+                target = coeffs[i]
                 for j in range(t + 1):
-                    coeffs[i][j] = (coeffs[i][j] + b * row_coeffs[j]) % prime
+                    target[j] = (target[j] + b * row_coeffs[j]) % prime
         return cls(field, coeffs)
 
 

@@ -1,0 +1,371 @@
+"""Algebra fast path: cached barycentric interpolation and batch inversion.
+
+Every share/reconstruct step of the protocol stack interpolates univariate
+polynomials over the *same few node sets* — the dealer grid ``{1..t+1}``
+and subsets of the process ids ``{1..n}``.  The seed implementation rebuilt
+a full Lagrange basis (with one Fermat inversion per node) on every call;
+this module makes the basis a cached object so the per-call cost drops to a
+plain matrix–vector product with no modular exponentiations at all.
+
+Barycentric form
+----------------
+For distinct nodes ``x_1 .. x_m`` define the *barycentric weights*
+
+    w_i = 1 / prod_{j != i} (x_i - x_j).
+
+The unique polynomial of degree ``< m`` through ``(x_i, y_i)`` evaluates at
+any non-node ``x`` as the second barycentric formula
+
+    f(x) = [ sum_i  w_i / (x - x_i) * y_i ]  /  [ sum_i  w_i / (x - x_i) ],
+
+and its coefficient vector is ``sum_i y_i * lambda_i`` where
+``lambda_i(x) = w_i * N(x) / (x - x_i)`` with ``N(x) = prod_j (x - x_j)``.
+Both the weights and the ``lambda_i`` coefficient rows depend only on the
+node set, never on the values — they are the cached objects.
+
+Cache-key design
+----------------
+Caches are keyed by ``(field, xs)`` with ``xs`` reduced to canonical
+``[0, p)`` form.  :class:`~repro.field.gf.Field` hashes and compares by its
+prime alone, so two distinct ``Field`` instances with the same modulus share
+cache entries (the protocol stack builds one ``Field`` per config, but they
+all wrap the same prime).  Node sets in this stack are always subsets of
+``{0..n}``, so the working set is tiny and an LRU bound is a formality.
+
+All inversions go through :func:`batch_inverse` (Montgomery's trick): a
+batch of ``k`` elements costs ``3(k-1)`` multiplications plus a *single*
+modular exponentiation, instead of ``k`` exponentiations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import lru_cache
+
+from repro.errors import FieldError, PolynomialError
+from repro.field.gf import Field
+
+__all__ = [
+    "LagrangeBasis",
+    "batch_inverse",
+    "evaluate_many",
+    "interpolate_values",
+    "lagrange_basis",
+    "power_table",
+]
+
+
+def batch_inverse(field: Field, values: Sequence[int]) -> list[int]:
+    """Invert every element of ``values`` with one modular exponentiation.
+
+    Montgomery's trick: form the prefix products, invert the total, then
+    peel the individual inverses off backwards.  Raises
+    :class:`~repro.errors.FieldError` on any zero element, matching
+    :meth:`Field.inv`.
+    """
+    prime = field.prime
+    canonical = [v % prime for v in values]
+    if not canonical:
+        return []
+    prefix = [1] * (len(canonical) + 1)
+    acc = 1
+    for i, v in enumerate(canonical):
+        if v == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        acc = acc * v % prime
+        prefix[i + 1] = acc
+    inv = pow(acc, prime - 2, prime)
+    out = [0] * len(canonical)
+    for i in range(len(canonical) - 1, -1, -1):
+        out[i] = prefix[i] * inv % prime
+        inv = inv * canonical[i] % prime
+    return out
+
+
+class _PowerTable:
+    """Growable table of powers ``x^0, x^1, ...`` of one base point.
+
+    Multi-point evaluation repeatedly needs the same power chains (the
+    protocol always evaluates at points of ``{1..n}``), so the chains are
+    memoised per ``(field, x)`` and extended on demand.
+    """
+
+    __slots__ = ("prime", "x", "_powers")
+
+    def __init__(self, prime: int, x: int):
+        self.prime = prime
+        self.x = x
+        self._powers = [1]
+
+    def up_to(self, count: int) -> list[int]:
+        """Powers ``x^0 .. x^(count-1)`` (the returned list may be longer)."""
+        powers = self._powers
+        if len(powers) < count:
+            prime, x = self.prime, self.x
+            acc = powers[-1]
+            for _ in range(count - len(powers)):
+                acc = acc * x % prime
+                powers.append(acc)
+        return powers
+
+
+@lru_cache(maxsize=8192)
+def power_table(field: Field, x: int) -> _PowerTable:
+    """The cached power chain of ``x`` over ``field``."""
+    return _PowerTable(field.prime, x % field.prime)
+
+
+def evaluate_many(
+    field: Field, coeffs: Sequence[int], xs: Iterable[int]
+) -> list[int]:
+    """Evaluate ``sum_k coeffs[k] x^k`` at every point of ``xs``.
+
+    Uses the cached power tables and a single deferred reduction per point:
+    the dot product is accumulated as one big int and reduced once, which
+    beats per-step Horner reductions for the degrees this stack uses.
+    """
+    prime = field.prime
+    count = len(coeffs)
+    if count == 0:
+        return [0 for _ in xs]
+    out = []
+    for x in xs:
+        powers = power_table(field, x % prime).up_to(count)
+        total = 0
+        for c, p in zip(coeffs, powers):
+            total += c * p
+        out.append(total % prime)
+    return out
+
+
+class LagrangeBasis:
+    """Precomputed interpolation data for one node set.
+
+    Construct via :func:`lagrange_basis` (which canonicalises, validates,
+    and caches); direct construction assumes ``xs`` are distinct canonical
+    elements.  The weights are computed eagerly (one batch inversion); the
+    coefficient rows of the basis polynomials are computed lazily on first
+    use and memoised on the instance.
+    """
+
+    __slots__ = ("field", "xs", "weights", "_index", "_rows", "_zero_row")
+
+    def __init__(self, field: Field, xs: tuple[int, ...]):
+        self.field = field
+        self.xs = xs
+        prime = field.prime
+        denoms = []
+        for i, x_i in enumerate(xs):
+            d = 1
+            for j, x_j in enumerate(xs):
+                if j != i:
+                    d = d * (x_i - x_j) % prime
+            denoms.append(d)
+        self.weights = tuple(batch_inverse(field, denoms))
+        self._index = {x: i for i, x in enumerate(xs)}
+        self._rows: tuple[tuple[int, ...], ...] | None = None
+        self._zero_row: tuple[int, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def __repr__(self) -> str:
+        return f"LagrangeBasis(GF({self.field.prime}), xs={list(self.xs)})"
+
+    # -- cached structure ---------------------------------------------------
+    @property
+    def basis_rows(self) -> tuple[tuple[int, ...], ...]:
+        """Coefficient rows of the basis polynomials ``lambda_i``.
+
+        Row ``i`` holds the coefficients (low degree first, length ``m``) of
+        the polynomial that is 1 at ``xs[i]`` and 0 at every other node.
+        Computed once per node set: the master polynomial
+        ``N(x) = prod (x - x_j)`` costs O(m^2), and each row is one O(m)
+        synthetic division ``N / (x - x_i)`` scaled by the weight.
+        """
+        rows = self._rows
+        if rows is None:
+            prime = self.field.prime
+            master = [1]  # coefficients of N(x), low degree first
+            for x_j in self.xs:
+                master = [0] + master
+                neg = -x_j % prime
+                for k in range(len(master) - 1):
+                    master[k] = (master[k] + neg * master[k + 1]) % prime
+            m = len(self.xs)
+            built = []
+            for x_i, w_i in zip(self.xs, self.weights):
+                # Synthetic division: q(x) = N(x) / (x - x_i), degree m-1.
+                q = [0] * m
+                acc = master[m]  # == 1
+                for k in range(m - 1, -1, -1):
+                    q[k] = acc * w_i % prime
+                    acc = (master[k] + acc * x_i) % prime
+                built.append(tuple(q))
+            rows = self._rows = tuple(built)
+        return rows
+
+    @property
+    def zero_row(self) -> tuple[int, ...]:
+        """``(lambda_0(0), ..., lambda_{m-1}(0))`` — reconstruction at 0 is
+        the dot product of this row with the values."""
+        row = self._zero_row
+        if row is None:
+            row = self._zero_row = tuple(r[0] for r in self.basis_rows)
+        return row
+
+    # -- operations ---------------------------------------------------------
+    def interpolate_coeffs(self, ys: Sequence[int]) -> list[int]:
+        """Coefficients of the interpolant through ``(xs[i], ys[i])``.
+
+        A pure matrix–vector product over the cached rows: no inversions,
+        one deferred reduction per output coefficient.
+        """
+        if len(ys) != len(self.xs):
+            raise PolynomialError(
+                f"expected {len(self.xs)} values, got {len(ys)}"
+            )
+        prime = self.field.prime
+        m = len(self.xs)
+        out = [0] * m
+        for y, row in zip(ys, self.basis_rows):
+            y %= prime
+            if y == 0:
+                continue
+            for k in range(m):
+                out[k] += y * row[k]
+        return [v % prime for v in out]
+
+    def evaluate(self, ys: Sequence[int], x: int) -> int:
+        """Evaluate the interpolant at ``x`` via the barycentric form,
+        without materialising coefficients."""
+        return self.evaluate_many_at(ys, (x,))[0]
+
+    def evaluate_at_zero(self, ys: Sequence[int]) -> int:
+        """The interpolant's value at 0 as a single dot product."""
+        if len(ys) != len(self.xs):
+            raise PolynomialError(
+                f"expected {len(self.xs)} values, got {len(ys)}"
+            )
+        prime = self.field.prime
+        total = 0
+        for y, c in zip(ys, self.zero_row):
+            total += y * c
+        return total % prime
+
+    def evaluate_many_at(self, ys: Sequence[int], points: Sequence[int]) -> list[int]:
+        """Barycentric evaluation at every point, batching all inversions.
+
+        All ``(x - x_i)`` differences across all points go through one
+        batch inversion, and the per-point denominators through a second —
+        two modular exponentiations total regardless of ``len(points)``.
+        """
+        if len(ys) != len(self.xs):
+            raise PolynomialError(
+                f"expected {len(self.xs)} values, got {len(ys)}"
+            )
+        prime = self.field.prime
+        index = self._index
+        off_node: list[int] = []  # flat (x - x_i) diffs for off-node points
+        plan: list[tuple[int, int]] = []  # (kind, payload) per point
+        for x in points:
+            x %= prime
+            i = index.get(x)
+            if i is not None:
+                plan.append((0, i))
+            else:
+                plan.append((1, x))
+                for x_i in self.xs:
+                    off_node.append(x - x_i)
+        invs = batch_inverse(self.field, off_node)
+        weights = self.weights
+        numerators: list[int] = []
+        denominators: list[int] = []
+        pos = 0
+        m = len(self.xs)
+        for kind, _ in plan:
+            if kind == 0:
+                continue
+            num = 0
+            den = 0
+            for w, y, inv in zip(weights, ys, invs[pos : pos + m]):
+                coeff = w * inv % prime
+                num += coeff * y
+                den += coeff
+            pos += m
+            numerators.append(num % prime)
+            denominators.append(den % prime)
+        den_invs = batch_inverse(self.field, denominators)
+        out: list[int] = []
+        k = 0
+        for kind, payload in plan:
+            if kind == 0:
+                out.append(ys[payload] % prime)
+            else:
+                out.append(numerators[k] * den_invs[k] % prime)
+                k += 1
+        return out
+
+    def verify_points(
+        self, ys: Sequence[int], points: Sequence[tuple[int, int]]
+    ) -> bool:
+        """True iff every ``(x, y)`` of ``points`` lies on the interpolant.
+
+        The check runs in the barycentric form — no coefficient vector is
+        ever materialised, so a failed verification costs two ``pow`` calls
+        for the whole batch instead of a full interpolation.
+        """
+        if not points:
+            return True
+        prime = self.field.prime
+        got = self.evaluate_many_at(ys, [x for x, _ in points])
+        return all(v == y % prime for v, (_, y) in zip(got, points))
+
+
+@lru_cache(maxsize=4096)
+def _cached_basis(field: Field, xs: tuple[int, ...]) -> LagrangeBasis:
+    return LagrangeBasis(field, xs)
+
+
+def lagrange_basis(field: Field, xs: Sequence[int]) -> LagrangeBasis:
+    """The cached :class:`LagrangeBasis` for node set ``xs``.
+
+    Raises :class:`~repro.errors.PolynomialError` on duplicate nodes
+    (after reduction into the field, so ``1`` and ``p + 1`` collide).
+    """
+    prime = field.prime
+    canonical = tuple(x % prime for x in xs)
+    if len(set(canonical)) != len(canonical):
+        raise PolynomialError(f"duplicate x-coordinates in {list(canonical)}")
+    if not canonical:
+        raise PolynomialError("cannot interpolate zero points")
+    return _cached_basis(field, canonical)
+
+
+#: set on first use — univariate imports this module, so the class cannot be
+#: imported at module load time without a cycle.
+_polynomial_cls = None
+
+
+def interpolate_values(
+    field: Field, xs: Sequence[int], ys: Sequence[int]
+) -> "Polynomial":
+    """The unique degree-``< len(xs)`` polynomial with ``f(xs[i]) = ys[i]``.
+
+    This is the fast-path replacement for point-list Lagrange
+    interpolation: the basis is cached per node set, so repeat calls cost
+    one matrix–vector product.
+    """
+    global _polynomial_cls
+    if _polynomial_cls is None:
+        from repro.poly.univariate import Polynomial
+
+        _polynomial_cls = Polynomial
+    basis = lagrange_basis(field, xs)
+    return _polynomial_cls(field, basis.interpolate_coeffs(ys))
+
+
+def clear_caches() -> None:
+    """Drop all memoised bases and power tables (tests and benchmarks)."""
+    _cached_basis.cache_clear()
+    power_table.cache_clear()

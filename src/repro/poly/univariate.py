@@ -14,6 +14,8 @@ from random import Random
 
 from repro.errors import PolynomialError
 from repro.field.gf import Field
+import repro.poly.fastpath as fastpath
+from repro.poly.fastpath import lagrange_basis
 
 
 class Polynomial:
@@ -68,7 +70,8 @@ class Polynomial:
         return acc
 
     def evaluate_many(self, xs: Iterable[int]) -> list[int]:
-        return [self(x) for x in xs]
+        """Evaluate at every point of ``xs`` via cached power tables."""
+        return fastpath.evaluate_many(self.field, self.coeffs, xs)
 
     # -- algebra --------------------------------------------------------------
     def __add__(self, other: "Polynomial") -> "Polynomial":
@@ -148,53 +151,28 @@ def lagrange_interpolate(
 ) -> Polynomial:
     """The unique polynomial of degree < ``len(points)`` through ``points``.
 
-    Raises :class:`PolynomialError` on duplicate x-coordinates.
+    Raises :class:`PolynomialError` on duplicate x-coordinates.  Delegates
+    to the cached barycentric basis of :mod:`repro.poly.fastpath`, so
+    repeated interpolation over the same node set (the protocol's common
+    case) costs one matrix–vector product and no modular inversions.
     """
     if not points:
         raise PolynomialError("cannot interpolate zero points")
-    xs = [x % field.prime for x, _ in points]
-    if len(set(xs)) != len(xs):
-        raise PolynomialError(f"duplicate x-coordinates in {xs}")
-    prime = field.prime
-    result = Polynomial.zero(field)
-    for i, (x_i, y_i) in enumerate(points):
-        if y_i % prime == 0:
-            continue
-        # Build the Lagrange basis polynomial for x_i, scaled by y_i.
-        basis = Polynomial.constant(field, 1)
-        denom = 1
-        for j, (x_j, _) in enumerate(points):
-            if j == i:
-                continue
-            basis = basis * Polynomial(field, [(-x_j) % prime, 1])
-            denom = (denom * (x_i - x_j)) % prime
-        result = result + basis.scale(field.div(y_i, denom))
-    return result
+    basis = lagrange_basis(field, [x for x, _ in points])
+    return Polynomial(field, basis.interpolate_coeffs([y for _, y in points]))
 
 
 def interpolate_at_zero(field: Field, points: Sequence[tuple[int, int]]) -> int:
     """Evaluate the interpolating polynomial at 0 without building it.
 
-    This is the hot path of reconstruction (the secret lives at 0), so it
-    avoids constructing coefficient vectors.
+    This is the hot path of reconstruction (the secret lives at 0): with
+    the cached basis it is a single dot product against the precomputed
+    ``λ_i(0)`` row.
     """
     if not points:
         raise PolynomialError("cannot interpolate zero points")
-    prime = field.prime
-    xs = [x % prime for x, _ in points]
-    if len(set(xs)) != len(xs):
-        raise PolynomialError(f"duplicate x-coordinates in {xs}")
-    total = 0
-    for i, (x_i, y_i) in enumerate(points):
-        num = 1
-        den = 1
-        for j, (x_j, _) in enumerate(points):
-            if j == i:
-                continue
-            num = (num * (-x_j)) % prime
-            den = (den * (x_i - x_j)) % prime
-        total = (total + y_i * num * pow(den, prime - 2, prime)) % prime
-    return total
+    basis = lagrange_basis(field, [x for x, _ in points])
+    return basis.evaluate_at_zero([y for _, y in points])
 
 
 def interpolate_degree_t(
@@ -205,15 +183,15 @@ def interpolate_degree_t(
     Interpolates through the first ``t + 1`` points and verifies the rest,
     which is exactly the check steps R'4 and R3 of the paper perform: the
     reconstructed values either lie on one degree-t polynomial or the
-    protocol outputs ⊥.
+    protocol outputs ⊥.  The tail check runs in the barycentric form, so a
+    failed verification never materialises a coefficient vector; duplicate
+    x-coordinates raise the same :class:`PolynomialError` as before.
     """
     if len(points) < t + 1:
         return None
     head = points[: t + 1]
-    candidate = lagrange_interpolate(field, head)
-    if candidate.degree > t:
+    basis = lagrange_basis(field, [x for x, _ in head])
+    ys = [y for _, y in head]
+    if not basis.verify_points(ys, points[t + 1 :]):
         return None
-    for x, y in points[t + 1 :]:
-        if candidate(x) != y % field.prime:
-            return None
-    return candidate
+    return Polynomial(field, basis.interpolate_coeffs(ys))

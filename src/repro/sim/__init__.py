@@ -12,7 +12,14 @@ from repro.sim.scheduler import (
     UniformDelayScheduler,
     default_scheduler,
 )
-from repro.sim.tracing import ShunRecord, Trace, estimate_size
+from repro.sim.tracing import (
+    TRACE_COUNTS,
+    TRACE_FULL,
+    TRACE_OFF,
+    ShunRecord,
+    Trace,
+    estimate_size,
+)
 
 __all__ = [
     "DEFAULT_MAX_EVENTS",
@@ -25,6 +32,9 @@ __all__ = [
     "Runtime",
     "Scheduler",
     "ShunRecord",
+    "TRACE_COUNTS",
+    "TRACE_FULL",
+    "TRACE_OFF",
     "TargetedDelayScheduler",
     "Trace",
     "UniformDelayScheduler",

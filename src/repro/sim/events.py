@@ -17,22 +17,29 @@ Event = tuple[float, int, int, int, object]
 
 
 class EventQueue:
-    """A seeded-deterministic priority queue of delivery events."""
+    """A seeded-deterministic priority queue of delivery events.
 
-    __slots__ = ("_heap", "_seq")
+    The heap primitives are bound once at construction: ``push``/``pop``
+    run millions of times per full-stack run, and skipping the module
+    global lookup on each call is a measurable constant-factor win.
+    """
+
+    __slots__ = ("_heap", "_seq", "_heappush", "_heappop")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
+        self._heappush = heapq.heappush
+        self._heappop = heapq.heappop
 
     def push(self, time: float, dst: int, src: int, payload: object) -> Event:
         event = (time, self._seq, dst, src, payload)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._heappush(self._heap, event)
         return event
 
     def pop(self) -> Event:
-        return heapq.heappop(self._heap)
+        return self._heappop(self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)

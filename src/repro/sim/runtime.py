@@ -15,7 +15,7 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import EventQueue
 from repro.sim.process import ProcessHost
 from repro.sim.scheduler import Scheduler, default_scheduler
-from repro.sim.tracing import Trace
+from repro.sim.tracing import TRACE_FULL, Trace
 
 #: Safety valve: a run dispatching more events than this is assumed stuck in
 #: a livelock (no correct experiment in this repo comes close).
@@ -25,12 +25,17 @@ DEFAULT_MAX_EVENTS = 50_000_000
 class Runtime:
     """Owns the hosts, the event queue, the clock, and the trace."""
 
-    def __init__(self, config: SystemConfig, scheduler: Scheduler | None = None):
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Scheduler | None = None,
+        trace_level: int = TRACE_FULL,
+    ):
         self.config = config
         self.field = config.field
         self.now = 0.0
         self.queue = EventQueue()
-        self.trace = Trace.for_field(config.field, config.n)
+        self.trace = Trace.for_field(config.field, config.n, level=trace_level)
         self.scheduler = scheduler or default_scheduler(config.derive_rng("scheduler"))
         self.hosts: dict[int, ProcessHost] = {
             pid: ProcessHost(self, pid) for pid in config.pids
@@ -53,7 +58,9 @@ class Runtime:
                 f"scheduler produced illegal delay {delay!r}; the model "
                 "requires positive finite delays (eventual delivery)"
             )
-        self.trace.record_send(layer, payload)
+        trace = self.trace
+        if trace.level:  # TRACE_OFF == 0: skip the call + Counter work
+            trace.record_send(layer, payload)
         self.queue.push(self.now + delay, dst, src, payload)
 
     # -- event loop --------------------------------------------------------------
@@ -63,7 +70,9 @@ class Runtime:
             return False
         time, _, dst, src, payload = self.queue.pop()
         self.now = time
-        self.trace.events_dispatched += 1
+        trace = self.trace
+        if trace.level:
+            trace.events_dispatched += 1
         self.hosts[dst].deliver(src, payload)
         return True
 

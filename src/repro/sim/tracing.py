@@ -14,6 +14,14 @@ from dataclasses import dataclass, field
 
 from repro.field.gf import Field
 
+#: Tracing levels.  ``TRACE_FULL`` (default) records everything the
+#: experiments read; ``TRACE_COUNTS`` keeps message/shun counters but drops
+#: per-event protocol bookkeeping; ``TRACE_OFF`` turns :class:`Trace` into a
+#: pure no-op so benchmark runs pay nothing per message.
+TRACE_OFF = 0
+TRACE_COUNTS = 1
+TRACE_FULL = 2
+
 
 def estimate_size(payload: object, field_bytes: int, n: int) -> int:
     """Rough wire size of a payload, in bytes.
@@ -57,12 +65,16 @@ class Trace:
 
     Byte estimation walks every payload recursively, which costs more than
     the rest of the event loop combined, so it is off by default; the
-    complexity benchmarks flip ``measure_bytes`` on.
+    complexity benchmarks flip ``measure_bytes`` on.  ``level`` trades
+    observability for speed: benchmark runs pass ``TRACE_OFF`` so the hot
+    transmit path skips all per-message bookkeeping (the runtime checks the
+    level *before* calling in, making recording a true no-op).
     """
 
     field_bytes: int = 4
     n: int = 0
     measure_bytes: bool = False
+    level: int = TRACE_FULL
     messages_by_layer: Counter = field(default_factory=Counter)
     bytes_by_layer: Counter = field(default_factory=Counter)
     events_dispatched: int = 0
@@ -70,11 +82,19 @@ class Trace:
     protocol_events: Counter = field(default_factory=Counter)
 
     @classmethod
-    def for_field(cls, fld: Field, n: int) -> "Trace":
-        return cls(field_bytes=fld.byte_size, n=n)
+    def for_field(cls, fld: Field, n: int, level: int = TRACE_FULL) -> "Trace":
+        return cls(field_bytes=fld.byte_size, n=n, level=level)
+
+    @property
+    def records_events(self) -> bool:
+        """True when per-event protocol bookkeeping is recorded — hot-path
+        callers check this before building event-name strings."""
+        return self.level >= TRACE_FULL
 
     # -- recording -----------------------------------------------------------
     def record_send(self, layer: str, payload: object) -> None:
+        if self.level < TRACE_COUNTS:
+            return
         self.messages_by_layer[layer] += 1
         if self.measure_bytes:
             self.bytes_by_layer[layer] += estimate_size(
@@ -82,9 +102,13 @@ class Trace:
             )
 
     def record_shun(self, observer: int, culprit: int, session: object, time: float) -> None:
+        if self.level < TRACE_COUNTS:
+            return
         self.shun_records.append(ShunRecord(observer, culprit, session, time))
 
     def record_event(self, name: str) -> None:
+        if self.level < TRACE_FULL:
+            return
         self.protocol_events[name] += 1
 
     # -- reading ----------------------------------------------------------------

@@ -1,0 +1,231 @@
+"""Property tests for the algebra fast path (repro.poly.fastpath).
+
+The fast path must be *observationally identical* to textbook Lagrange
+interpolation — the protocol's correctness proofs assume exact field
+arithmetic, so every cached/barycentric shortcut is checked here against a
+naive reference implementation kept local to this file.
+"""
+
+from __future__ import annotations
+
+import time
+from random import Random
+
+import pytest
+
+from repro.config import max_faults
+from repro.errors import FieldError, PolynomialError
+from repro.field.gf import Field
+from repro.poly.fastpath import (
+    batch_inverse,
+    evaluate_many,
+    interpolate_values,
+    lagrange_basis,
+    power_table,
+)
+from repro.poly.univariate import (
+    Polynomial,
+    interpolate_at_zero,
+    interpolate_degree_t,
+    lagrange_interpolate,
+)
+
+F = Field()  # default prime
+F13 = Field(13)
+SMALL_PRIME = 10_007
+FS = Field(SMALL_PRIME)
+
+
+def naive_lagrange(field: Field, points) -> Polynomial:
+    """The seed implementation: per-point basis build + Fermat inversions."""
+    prime = field.prime
+    result = Polynomial.zero(field)
+    for i, (x_i, y_i) in enumerate(points):
+        if y_i % prime == 0:
+            continue
+        basis = Polynomial.constant(field, 1)
+        denom = 1
+        for j, (x_j, _) in enumerate(points):
+            if j == i:
+                continue
+            basis = basis * Polynomial(field, [(-x_j) % prime, 1])
+            denom = (denom * (x_i - x_j)) % prime
+        result = result + basis.scale(field.div(y_i, denom))
+    return result
+
+
+def random_points(field: Field, count: int, rng: Random, include_zero=False):
+    pool = list(range(field.prime if field.prime < 4096 else 4096))
+    xs = rng.sample(pool[1:], count)
+    if include_zero and count > 1:
+        xs[rng.randrange(count)] = 0
+    return [(x, rng.randrange(field.prime)) for x in xs]
+
+
+class TestBarycentricVsNaive:
+    @pytest.mark.parametrize("field", [F, F13, FS])
+    def test_interpolation_matches_naive(self, field):
+        rng = Random(7)
+        for count in range(1, 9):
+            if count >= field.prime:
+                continue
+            for _ in range(10):
+                points = random_points(field, count, rng, include_zero=True)
+                assert lagrange_interpolate(field, points) == naive_lagrange(
+                    field, points
+                )
+
+    def test_interpolate_values_matches_point_form(self):
+        rng = Random(11)
+        xs = [3, 9, 1, 6]
+        ys = [rng.randrange(F.prime) for _ in xs]
+        assert interpolate_values(F, xs, ys) == lagrange_interpolate(
+            F, list(zip(xs, ys))
+        )
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(PolynomialError):
+            lagrange_interpolate(F13, [(1, 2), (1, 3)])
+        with pytest.raises(PolynomialError):
+            # duplicates only after reduction into the field
+            lagrange_basis(F13, (1, 14))
+        with pytest.raises(PolynomialError):
+            interpolate_degree_t(F13, [(2, 1), (2, 5), (3, 0)], t=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolynomialError):
+            lagrange_interpolate(F13, [])
+        with pytest.raises(PolynomialError):
+            lagrange_basis(F13, ())
+
+    def test_barycentric_evaluation_matches_polynomial(self):
+        rng = Random(3)
+        p = Polynomial.random(F, 5, rng)
+        xs = [1, 2, 4, 8, 16, 32]
+        ys = p.evaluate_many(xs)
+        basis = lagrange_basis(F, xs)
+        # off-node, on-node, and zero all agree with the coefficient form
+        for x in [0, 3, 5, 7, 2, 32, 100]:
+            assert basis.evaluate(ys, x) == p(x)
+        assert basis.evaluate_at_zero(ys) == p(0)
+        assert interpolate_at_zero(F, list(zip(xs, ys))) == p(0)
+
+    def test_verify_points(self):
+        rng = Random(5)
+        p = Polynomial.random(F, 3, rng)
+        xs = [1, 2, 3, 4]
+        ys = p.evaluate_many(xs)
+        basis = lagrange_basis(F, xs)
+        good = [(x, p(x)) for x in (5, 6, 0, 2)]
+        assert basis.verify_points(ys, good)
+        assert basis.verify_points(ys, [])
+        bad = good[:2] + [(7, p(7) + 1)]
+        assert not basis.verify_points(ys, bad)
+        # on-node mismatch is also caught
+        assert not basis.verify_points(ys, [(2, ys[1] + 1)])
+
+
+class TestBatchInverse:
+    def test_matches_field_inv(self):
+        rng = Random(13)
+        for field in (F, F13, FS):
+            values = [rng.randrange(1, field.prime) for _ in range(40)]
+            assert batch_inverse(field, values) == [field.inv(v) for v in values]
+
+    def test_empty_batch(self):
+        assert batch_inverse(F, []) == []
+
+    def test_zero_raises_like_field_inv(self):
+        with pytest.raises(FieldError):
+            batch_inverse(F13, [1, 0, 5])
+        with pytest.raises(FieldError):
+            batch_inverse(F13, [13])  # zero after reduction
+
+    def test_non_canonical_inputs(self):
+        p = F13.prime
+        assert batch_inverse(F13, [p + 2, -1]) == [F13.inv(2), F13.inv(p - 1)]
+
+
+class TestCacheSemantics:
+    def test_cache_hit_across_field_instances_same_prime(self):
+        a, b = Field(SMALL_PRIME), Field(SMALL_PRIME)
+        assert a is not b
+        xs = (1, 2, 3)
+        assert lagrange_basis(a, xs) is lagrange_basis(b, xs)
+        ys = [5, 9, 2]
+        assert (
+            interpolate_values(a, xs, ys).coeffs
+            == interpolate_values(b, xs, ys).coeffs
+        )
+
+    def test_distinct_primes_do_not_collide(self):
+        xs = (1, 2, 3)
+        assert lagrange_basis(F13, xs) is not lagrange_basis(FS, xs)
+        ys = [7, 7, 12]
+        got13 = interpolate_values(F13, xs, ys)
+        gotS = interpolate_values(FS, xs, ys)
+        assert got13.field.prime == 13 and gotS.field.prime == SMALL_PRIME
+        assert got13 == naive_lagrange(F13, list(zip(xs, ys)))
+        assert gotS == naive_lagrange(FS, list(zip(xs, ys)))
+
+    def test_canonicalised_nodes_share_an_entry(self):
+        assert lagrange_basis(F13, (1, 2)) is lagrange_basis(F13, (14, 15))
+
+    def test_power_table_shared_and_correct(self):
+        t1 = power_table(Field(SMALL_PRIME), 3)
+        t2 = power_table(Field(SMALL_PRIME), 3)
+        assert t1 is t2
+        assert t1.up_to(6)[:6] == [pow(3, k, SMALL_PRIME) for k in range(6)]
+
+
+class TestEvaluateMany:
+    def test_matches_horner(self):
+        rng = Random(17)
+        for degree in (0, 1, 4, 9):
+            p = Polynomial.random(F, degree, rng)
+            xs = [rng.randrange(F.prime) for _ in range(12)] + [0, 1]
+            assert p.evaluate_many(xs) == [p(x) for x in xs]
+
+    def test_zero_polynomial(self):
+        assert Polynomial.zero(F).evaluate_many([0, 1, 2]) == [0, 0, 0]
+        assert evaluate_many(F, (), [5, 6]) == [0, 0]
+
+    def test_non_canonical_points(self):
+        p = Polynomial(F13, [1, 1])
+        assert p.evaluate_many([13, 14, -1]) == [1, 2, 0]
+
+
+class TestInterpolateDegreeT:
+    def test_tail_verification_passes_and_fails(self):
+        rng = Random(23)
+        p = Polynomial.random(F, 2, rng)
+        pts = [(x, p(x)) for x in range(1, 7)]
+        assert interpolate_degree_t(F, pts, t=2) == p
+        bad = pts[:5] + [(6, p(6) + 1)]
+        assert interpolate_degree_t(F, bad, t=2) is None
+
+    def test_too_few_points(self):
+        assert interpolate_degree_t(F13, [(1, 1)], t=1) is None
+
+
+class TestTimingGuard:
+    def test_interpolation_stays_fast_at_n13(self):
+        """Interpolating 50 random degree-t polynomials at n=13 must stay
+        well under a generous wall-clock bound — a loud tripwire against
+        regressions back to per-call basis construction or O(t^3) paths."""
+        n = 13
+        t = max_faults(n)
+        rng = Random(29)
+        xs = list(range(1, t + 2))
+        lagrange_basis(F, xs)  # warm the cache, as protocol runs do
+        start = time.perf_counter()
+        for _ in range(50):
+            p = Polynomial.random(F, t, rng)
+            ys = p.evaluate_many(xs)
+            q = interpolate_values(F, xs, ys)
+            assert q == p
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.25, (
+            f"50 degree-{t} interpolations took {elapsed:.3f}s; the cached "
+            "fast path should finish in milliseconds"
+        )
