@@ -26,12 +26,27 @@ from repro.sim.process import ProcessHost
 
 LAYER = "rb"
 
+#: topic -> "rb.<topic>" layer-name cache.  The honest topic set is tiny and
+#: static per run, and building the f-string on every (hot-path) broadcast
+#: send showed up in the engine profile.  Capped because the topic position
+#: of a *received* bid is byzantine-controlled: a peer spamming fresh topic
+#: strings must not grow process-wide memory (sweep workers are long-lived).
+_LAYER_CACHE: dict[str, str] = {}
+_LAYER_CACHE_MAX = 64
+
 
 def _layer_for(bid: tuple) -> str:
     """Accounting layer for a broadcast: echo traffic is attributed to the
     protocol topic embedded in the bid (``(origin, topic, ...)``)."""
-    if len(bid) > 1 and isinstance(bid[1], str):
-        return f"rb.{bid[1]}"
+    if len(bid) > 1:
+        topic = bid[1]
+        if isinstance(topic, str):
+            layer = _LAYER_CACHE.get(topic)
+            if layer is None:
+                if len(_LAYER_CACHE) >= _LAYER_CACHE_MAX:
+                    return f"rb.{topic}"  # adversarial flood: don't intern
+                layer = _LAYER_CACHE[topic] = f"rb.{topic}"
+            return layer
     return LAYER
 
 DeliverHandler = Callable[[int, tuple], None]
@@ -56,6 +71,7 @@ class BroadcastManager:
 
     def __init__(self, host: ProcessHost):
         self.host = host
+        self._runtime = host.runtime
         self.n = host.runtime.config.n
         self.t = host.runtime.config.t
         self._instances: dict[object, list] = {}
@@ -145,6 +161,7 @@ class BroadcastManager:
         if bid in self._weak_only or self._is_weak_bid(bid):
             origin = bid[0]
             self.delivered_values.setdefault(("weak", bid), (origin, value))
+            self._runtime.notify_state_change()  # a WRB accept is observable
             self._route(self._wrb_handlers, origin, value)
             return
         inst = self._instance(bid)
@@ -182,6 +199,7 @@ class BroadcastManager:
             inst[_DELIVERED] = True
             origin = bid[0]
             self.delivered_values[bid] = (origin, value)
+            self._runtime.notify_state_change()  # an RB delivery is observable
             self._route(self._topic_handlers, origin, value)
 
     # -- delivery routing ------------------------------------------------------

@@ -145,6 +145,8 @@ class ABAProcess:
 
     def _enter_round(self, r: int) -> None:
         self.round = r
+        # Round counters are wait-predicate-observable (max_rounds guards).
+        self.host.runtime.notify_state_change()
         self.host.runtime.trace.record_event("aba.round")
         self.coin.join(self._coin_sid(r))
         self._send_vote(r, 1, self.est)
@@ -329,3 +331,6 @@ class ABAProcess:
         self.host.runtime.trace.record_event("aba.decide")
         if self.on_decide is not None:
             self.on_decide(value)
+        # After on_decide so a wait predicate re-evaluated by this change
+        # already sees the recorded decision.
+        self.host.runtime.notify_state_change()

@@ -35,7 +35,7 @@ from repro.core.manager import CallbackWatcher, VSSManager
 from repro.core.mwsvss import BOTTOM
 from repro.core.sessions import mw_session, svss_session
 from repro.errors import ConfigurationError, DeadlockError, ProtocolError
-from repro.sim.runtime import DEFAULT_MAX_EVENTS, Runtime
+from repro.sim.runtime import DEFAULT_MAX_EVENTS, ENGINE_FLAT, Runtime
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import TRACE_COUNTS, TRACE_FULL, Trace
 
@@ -69,19 +69,27 @@ def build_stack(
     with_vss: bool = True,
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
+    engine: str = ENGINE_FLAT,
 ) -> Stack:
     """Assemble runtime, broadcast and (optionally) VSS for every process.
 
     ``trace_level`` (:data:`~repro.sim.tracing.TRACE_FULL` by default) can
     be lowered to :data:`~repro.sim.tracing.TRACE_OFF` for wall-clock
     benchmarks: the runtime then skips all per-message accounting.
+
+    ``engine`` selects the dispatch core: ``"flat"`` (default, frozen
+    routing table + calendar queue + batched fan-outs) or ``"legacy"``
+    (the seed's per-event heap + ``deliver`` chain, kept for determinism
+    regressions and as the benchmark baseline).
     """
     if measure_bytes and trace_level < TRACE_COUNTS:
         raise ConfigurationError(
             "measure_bytes=True needs trace_level >= TRACE_COUNTS; "
             "a disabled trace would silently record zero bytes"
         )
-    runtime = Runtime(config, scheduler=scheduler, trace_level=trace_level)
+    runtime = Runtime(
+        config, scheduler=scheduler, trace_level=trace_level, engine=engine
+    )
     runtime.trace.measure_bytes = measure_bytes
     broadcasts = {}
     vss = {}
@@ -144,6 +152,13 @@ class AgreementResult:
     trace: Trace
     terminated: bool
     adversary_description: str = "none"
+    #: Runtime counters (always recorded, even at TRACE_OFF): events
+    #: delivered, messages pushed onto the wire, and how often the
+    #: completion predicate was evaluated (O(state changes) on the flat
+    #: engine vs O(events) on the legacy engine).
+    events_dispatched: int = 0
+    messages_pushed: int = 0
+    predicate_evals: int = 0
 
     @property
     def agreed(self) -> bool:
@@ -178,6 +193,7 @@ def run_byzantine_agreement(
     tag: str = "aba",
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
+    engine: str = ENGINE_FLAT,
 ) -> AgreementResult:
     """Run one asynchronous Byzantine agreement to completion.
 
@@ -194,6 +210,7 @@ def run_byzantine_agreement(
         with_vss=needs_vss,
         measure_bytes=measure_bytes,
         trace_level=trace_level,
+        engine=engine,
     )
     coins = _make_coins(stack, coin)
     if isinstance(inputs, dict):
@@ -226,7 +243,10 @@ def run_byzantine_agreement(
         return any(processes[pid].round > max_rounds for pid in nonfaulty)
 
     try:
-        stack.runtime.run_until(finished, max_events=max_events)
+        # Every term of ``finished`` (decisions, round counters) is
+        # announced via notify_state_change, so the wait is re-evaluated
+        # on change only.
+        stack.runtime.run_until(finished, max_events=max_events, on_change=True)
         terminated = all(pid in decisions for pid in nonfaulty)
     except DeadlockError:
         terminated = False
@@ -239,6 +259,9 @@ def run_byzantine_agreement(
         trace=stack.trace,
         terminated=terminated,
         adversary_description=stack.adversary.describe(),
+        events_dispatched=stack.runtime.events_dispatched,
+        messages_pushed=stack.runtime.queue.pushed_total,
+        predicate_evals=stack.runtime.predicate_evals,
     )
 
 
@@ -275,10 +298,15 @@ def run_mwsvss(
     max_events: int = DEFAULT_MAX_EVENTS,
     counter: int = 0,
     trace_level: int = TRACE_FULL,
+    engine: str = ENGINE_FLAT,
 ) -> tuple[VSSResult, Stack]:
     """Run one standalone MW-SVSS session (share, then optionally R')."""
     stack = build_stack(
-        config, scheduler=scheduler, adversary=adversary, trace_level=trace_level
+        config,
+        scheduler=scheduler,
+        adversary=adversary,
+        trace_level=trace_level,
+        engine=engine,
     )
     sid = mw_session(("solo", counter), dealer, moderator, "dm")
     completed: set[int] = set()
@@ -297,7 +325,7 @@ def run_mwsvss(
     nonfaulty = set(stack.nonfaulty())
     try:
         stack.runtime.run_until(
-            lambda: nonfaulty <= completed, max_events=max_events
+            lambda: nonfaulty <= completed, max_events=max_events, on_change=True
         )
         if reconstruct:
             for pid in config.pids:
@@ -308,7 +336,9 @@ def run_mwsvss(
                 except ProtocolError:
                     continue
             stack.runtime.run_until(
-                lambda: nonfaulty <= set(outputs), max_events=max_events
+                lambda: nonfaulty <= set(outputs),
+                max_events=max_events,
+                on_change=True,
             )
     except DeadlockError:
         pass
@@ -333,10 +363,15 @@ def run_svss(
     max_events: int = DEFAULT_MAX_EVENTS,
     counter: int = 0,
     trace_level: int = TRACE_FULL,
+    engine: str = ENGINE_FLAT,
 ) -> tuple[VSSResult, Stack]:
     """Run one standalone SVSS session (share, then optionally R)."""
     stack = build_stack(
-        config, scheduler=scheduler, adversary=adversary, trace_level=trace_level
+        config,
+        scheduler=scheduler,
+        adversary=adversary,
+        trace_level=trace_level,
+        engine=engine,
     )
     tag = ("solo-svss", counter)
     sid = svss_session(tag, dealer)
@@ -354,7 +389,7 @@ def run_svss(
     nonfaulty = set(stack.nonfaulty())
     try:
         stack.runtime.run_until(
-            lambda: nonfaulty <= completed, max_events=max_events
+            lambda: nonfaulty <= completed, max_events=max_events, on_change=True
         )
         if reconstruct:
             for pid in config.pids:
@@ -363,7 +398,9 @@ def run_svss(
                 except ProtocolError:
                     continue
             stack.runtime.run_until(
-                lambda: nonfaulty <= set(outputs), max_events=max_events
+                lambda: nonfaulty <= set(outputs),
+                max_events=max_events,
+                on_change=True,
             )
     except DeadlockError:
         pass
@@ -398,11 +435,16 @@ def flip_common_coin(
     session: int = 0,
     max_events: int = DEFAULT_MAX_EVENTS,
     trace_level: int = TRACE_FULL,
+    engine: str = ENGINE_FLAT,
 ) -> tuple[CoinResult, Stack]:
     """Run one full SVSS-based shunning common coin invocation."""
     config.require_optimal_resilience()
     stack = build_stack(
-        config, scheduler=scheduler, adversary=adversary, trace_level=trace_level
+        config,
+        scheduler=scheduler,
+        adversary=adversary,
+        trace_level=trace_level,
+        engine=engine,
     )
     coins = _make_coins(stack, "svss")
     csid = ("cc", "solo", session)
@@ -414,7 +456,9 @@ def flip_common_coin(
     nonfaulty = set(stack.nonfaulty())
     try:
         stack.runtime.run_until(
-            lambda: nonfaulty <= set(outputs), max_events=max_events
+            lambda: nonfaulty <= set(outputs),
+            max_events=max_events,
+            on_change=True,
         )
     except DeadlockError:
         pass

@@ -392,6 +392,7 @@ class CommonCoinModule(CoinSource):
             session.party_values[j] == 0 for j in session.eval_set
         )
         session.output = 0 if zero_seen else 1
+        self.host.runtime.notify_state_change()  # coin value is observable
         trace = self.host.runtime.trace
         if trace.records_events:
             # Guarded so no-trace benchmark runs skip the f-string build too.

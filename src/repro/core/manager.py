@@ -80,6 +80,7 @@ class VSSManager:
 
     def __init__(self, host: ProcessHost, broadcast: BroadcastManager):
         self.host = host
+        self._runtime = host.runtime
         self.config = host.runtime.config
         self.pid = host.pid
         self.n = self.config.n
@@ -240,6 +241,7 @@ class VSSManager:
     # event routing
     # ------------------------------------------------------------------
     def notify_mw_share_complete(self, sid: tuple) -> None:
+        self._runtime.notify_state_change()
         parent = sid[1]
         if is_svss(parent):
             self._ensure_svss(parent).on_mw_share_complete(sid)
@@ -248,6 +250,7 @@ class VSSManager:
             watcher.on_mw_share_complete(sid)
 
     def notify_mw_output(self, sid: tuple, value: object) -> None:
+        self._runtime.notify_state_change()
         self.clock.note_complete(sid)
         self.dmm.on_session_reconstructed(sid)
         parent = sid[1]
@@ -259,11 +262,13 @@ class VSSManager:
         self._release_delayed()
 
     def notify_svss_share_complete(self, sid: tuple) -> None:
+        self._runtime.notify_state_change()
         watcher = self._watchers.get(sid[1])
         if watcher is not None:
             watcher.on_svss_share_complete(sid)
 
     def notify_svss_output(self, sid: tuple, value: object) -> None:
+        self._runtime.notify_state_change()
         self.clock.note_complete(sid)
         watcher = self._watchers.get(sid[1])
         if watcher is not None:

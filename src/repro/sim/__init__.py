@@ -1,8 +1,14 @@
 """Simulation substrate: deterministic asynchronous message-passing network."""
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import BucketQueue, Event, EventQueue
 from repro.sim.process import ProcessHost
-from repro.sim.runtime import DEFAULT_MAX_EVENTS, Runtime
+from repro.sim.runtime import (
+    DEFAULT_MAX_EVENTS,
+    ENGINE_FLAT,
+    ENGINE_LEGACY,
+    ENGINES,
+    Runtime,
+)
 from repro.sim.scheduler import (
     ExponentialDelayScheduler,
     FifoScheduler,
@@ -22,7 +28,11 @@ from repro.sim.tracing import (
 )
 
 __all__ = [
+    "BucketQueue",
     "DEFAULT_MAX_EVENTS",
+    "ENGINES",
+    "ENGINE_FLAT",
+    "ENGINE_LEGACY",
     "Event",
     "EventQueue",
     "ExponentialDelayScheduler",

@@ -1,0 +1,364 @@
+"""Parallel experiment harness: scenario matrices over worker processes.
+
+The paper's claims are statistical (almost-sure termination, expected
+round counts, polynomial message complexity), so reproducing them means
+*sweeps*: the same protocol under hundreds to thousands of seeded
+``(n, scheduler, adversary, seed)`` combinations.  This module makes such
+a sweep a one-call workload::
+
+    from repro.sim.experiments import scenario_matrix, run_matrix
+
+    sweep = run_matrix(
+        scenario_matrix(
+            ns=(4, 7), schedulers=("fifo", "uniform"),
+            adversaries=("none", "silent-one"), seeds=range(100),
+        ),
+        workers=8,
+    )
+    print(sweep.table())
+    print(sweep.agreement_rate, sweep.complexity_points())
+
+Design constraints, and how they are met:
+
+* **Picklable work units** — a :class:`Scenario` is plain data (ints,
+  strings, tuples); schedulers and adversaries are rebuilt inside the
+  worker from the :data:`SCHEDULERS` / :data:`ADVERSARIES` registries, so
+  the matrix crosses process boundaries without serializing protocol
+  objects.
+* **Determinism** — every random stream is derived from the scenario's
+  seed (the registries use ``config.derive_rng`` with fixed tags), and
+  records are returned in matrix order, so a sweep's aggregate is a pure
+  function of its scenario list no matter how many workers ran it.
+* **Aggregation** — :class:`SweepResult` feeds
+  :mod:`repro.analysis.stats` summaries, Wilson intervals, and
+  :mod:`repro.analysis.complexity` power-law fits, and renders the same
+  ASCII tables the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+from repro.adversary.controller import (
+    Adversary,
+    crash_adversary,
+    random_adversary,
+    silent_adversary,
+)
+from repro.analysis.stats import Summary, proportion_ci95, summarize
+from repro.analysis.tables import render_table
+from repro.config import SystemConfig
+from repro.core.api import run_byzantine_agreement
+from repro.errors import ConfigurationError
+from repro.sim.runtime import DEFAULT_MAX_EVENTS, ENGINE_FLAT, ENGINES
+from repro.sim.scheduler import (
+    ExponentialDelayScheduler,
+    FifoScheduler,
+    IntermittentPartitionScheduler,
+    Scheduler,
+    TargetedDelayScheduler,
+    UniformDelayScheduler,
+)
+from repro.sim.tracing import TRACE_COUNTS
+
+#: Scheduler registry: name -> factory(config).  Randomized schedulers use
+#: the same ``derive_rng("scheduler")`` stream as ``default_scheduler``, so
+#: ``"uniform"`` reproduces a run that picked no scheduler at all.
+SCHEDULERS: dict[str, Callable[[SystemConfig], Scheduler]] = {
+    "unit": lambda cfg: Scheduler(),
+    "fifo": lambda cfg: FifoScheduler(),
+    "uniform": lambda cfg: UniformDelayScheduler(cfg.derive_rng("scheduler")),
+    "exponential": lambda cfg: ExponentialDelayScheduler(
+        cfg.derive_rng("scheduler")
+    ),
+    "targeted": lambda cfg: TargetedDelayScheduler(
+        UniformDelayScheduler(cfg.derive_rng("scheduler")), victims={cfg.n}
+    ),
+    "partition": lambda cfg: IntermittentPartitionScheduler(
+        UniformDelayScheduler(cfg.derive_rng("scheduler")),
+        group=frozenset(range(1, cfg.n // 2 + 1)),
+    ),
+}
+
+#: Adversary registry: name -> factory(config) -> Adversary | None.
+ADVERSARIES: dict[str, Callable[[SystemConfig], Adversary | None]] = {
+    "none": lambda cfg: None,
+    "crash-one": lambda cfg: crash_adversary([cfg.n]) if cfg.t else None,
+    "silent-one": lambda cfg: silent_adversary([cfg.n]) if cfg.t else None,
+    "random": lambda cfg: random_adversary(
+        cfg, cfg.derive_rng("experiment-adversary")
+    ),
+}
+
+#: Input-pattern registry: name -> factory(config) -> list of bits.
+INPUT_PATTERNS: dict[str, Callable[[SystemConfig], list[int]]] = {
+    "split": lambda cfg: [i % 2 for i in range(cfg.n)],
+    "ones": lambda cfg: [1] * cfg.n,
+    "zeros": lambda cfg: [0] * cfg.n,
+    "random": lambda cfg: [
+        cfg.derive_rng("experiment-inputs").randrange(2) for _ in range(cfg.n)
+    ],
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One seeded agreement run, described entirely by plain data."""
+
+    n: int
+    seed: int
+    scheduler: str = "uniform"
+    adversary: str = "none"
+    coin: object = ("ideal", 1.0)  # "svss" | "local" | ("ideal", p)
+    inputs: str = "split"
+    max_rounds: int = 200
+    max_events: int = DEFAULT_MAX_EVENTS
+    engine: str = ENGINE_FLAT
+    trace_level: int = TRACE_COUNTS
+
+    def validate(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"known: {sorted(SCHEDULERS)}"
+            )
+        if self.adversary not in ADVERSARIES:
+            raise ConfigurationError(
+                f"unknown adversary {self.adversary!r}; "
+                f"known: {sorted(ADVERSARIES)}"
+            )
+        if self.inputs not in INPUT_PATTERNS:
+            raise ConfigurationError(
+                f"unknown input pattern {self.inputs!r}; "
+                f"known: {sorted(INPUT_PATTERNS)}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {ENGINES}"
+            )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Measured outcome of one scenario."""
+
+    scenario: Scenario
+    agreed: bool
+    terminated: bool
+    decision: int | None
+    rounds: int
+    sim_time: float
+    events_dispatched: int
+    messages_pushed: int
+    total_messages: int
+    predicate_evals: int
+    shun_pairs: int
+    wall_seconds: float
+
+
+def scenario_matrix(
+    ns: Iterable[int],
+    schedulers: Iterable[str] = ("uniform",),
+    adversaries: Iterable[str] = ("none",),
+    seeds: Iterable[int] = range(10),
+    **overrides: object,
+) -> list[Scenario]:
+    """The full cross product ``n x scheduler x adversary x seed``.
+
+    ``overrides`` set the remaining :class:`Scenario` fields (``coin``,
+    ``inputs``, ``engine``, ...) uniformly across the matrix.
+    """
+    matrix = [
+        Scenario(n=n, seed=seed, scheduler=s, adversary=a, **overrides)
+        for n in ns
+        for s in schedulers
+        for a in adversaries
+        for seed in seeds
+    ]
+    # Fail fast on registry typos, before any (possibly pooled) work
+    # starts: validation is a handful of dict lookups per scenario.
+    for scenario in matrix:
+        scenario.validate()
+    return matrix
+
+
+def run_scenario(scenario: Scenario) -> RunRecord:
+    """Execute one scenario; the unit of work a pool worker runs."""
+    scenario.validate()
+    config = SystemConfig(n=scenario.n, seed=scenario.seed)
+    start = time.perf_counter()
+    result = run_byzantine_agreement(
+        INPUT_PATTERNS[scenario.inputs](config),
+        config,
+        coin=scenario.coin,
+        scheduler=SCHEDULERS[scenario.scheduler](config),
+        adversary=ADVERSARIES[scenario.adversary](config),
+        max_rounds=scenario.max_rounds,
+        max_events=scenario.max_events,
+        trace_level=scenario.trace_level,
+        engine=scenario.engine,
+    )
+    wall = time.perf_counter() - start
+    return RunRecord(
+        scenario=scenario,
+        agreed=result.agreed,
+        terminated=result.terminated,
+        decision=result.decision,
+        rounds=result.max_rounds,
+        sim_time=result.sim_time,
+        events_dispatched=result.events_dispatched,
+        messages_pushed=result.messages_pushed,
+        total_messages=result.trace.total_messages,
+        predicate_evals=result.predicate_evals,
+        shun_pairs=len(result.trace.shun_pairs()),
+        wall_seconds=wall,
+    )
+
+
+def run_matrix(
+    scenarios: Sequence[Scenario],
+    workers: int | None = None,
+    chunksize: int | None = None,
+) -> "SweepResult":
+    """Run a scenario matrix, fanned across ``workers`` processes.
+
+    ``workers=None`` uses the machine's CPU count (capped by the matrix
+    size); ``workers<=1`` runs inline, which is what CI smoke mode and the
+    worker-equivalence test use.  Records come back in matrix order
+    either way, so aggregates are independent of the worker count.
+    """
+    scenarios = list(scenarios)
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(scenarios))
+    start = time.perf_counter()
+    if workers <= 1 or len(scenarios) <= 1:
+        workers = 1
+        records = [run_scenario(s) for s in scenarios]
+    else:
+        if chunksize is None:
+            chunksize = max(1, len(scenarios) // (workers * 4))
+        with get_context().Pool(processes=workers) as pool:
+            records = pool.map(run_scenario, scenarios, chunksize=chunksize)
+    return SweepResult(
+        records=records,
+        workers=workers,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def sweep_agreement(
+    ns: Iterable[int],
+    schedulers: Iterable[str] = ("uniform",),
+    adversaries: Iterable[str] = ("none",),
+    seeds: Iterable[int] = range(10),
+    workers: int | None = None,
+    **overrides: object,
+) -> "SweepResult":
+    """One-call sweep: build the matrix and run it."""
+    return run_matrix(
+        scenario_matrix(ns, schedulers, adversaries, seeds, **overrides),
+        workers=workers,
+    )
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep plus aggregation helpers."""
+
+    records: list[RunRecord]
+    workers: int = 1
+    wall_seconds: float = 0.0
+    #: Dimensions the default table groups by.
+    group_keys: tuple[str, ...] = field(default=("n", "scheduler", "adversary"))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- aggregate measures --------------------------------------------------
+    @property
+    def agreement_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.agreed for r in self.records) / len(self.records)
+
+    def agreement_ci95(self) -> tuple[float, float]:
+        return proportion_ci95(
+            sum(r.agreed for r in self.records), len(self.records)
+        )
+
+    def summary(self, metric: str) -> Summary:
+        """Mean/spread of one :class:`RunRecord` numeric field."""
+        return summarize([float(getattr(r, metric)) for r in self.records])
+
+    def group_by(self, *keys: str) -> dict[tuple, "SweepResult"]:
+        """Split into sub-sweeps by :class:`Scenario` field values."""
+        keys = keys or self.group_keys
+        groups: dict[tuple, list[RunRecord]] = {}
+        for record in self.records:
+            key = tuple(getattr(record.scenario, k) for k in keys)
+            groups.setdefault(key, []).append(record)
+        try:
+            # Natural order (numeric n before lexicographic schedulers);
+            # falls back to string order for mixed-type key fields.
+            ordered = sorted(groups.items(), key=lambda kv: kv[0])
+        except TypeError:
+            ordered = sorted(groups.items(), key=lambda kv: str(kv[0]))
+        return {
+            key: SweepResult(records=group, workers=self.workers)
+            for key, group in ordered
+        }
+
+    def complexity_points(
+        self, metric: str = "total_messages"
+    ) -> list[tuple[float, float]]:
+        """Per-``n`` means of ``metric`` — the input shape
+        :func:`repro.analysis.complexity.fit_power_law` consumes."""
+        return [
+            (float(n), group.summary(metric).mean)
+            for (n,), group in self.group_by("n").items()
+        ]
+
+    # -- presentation --------------------------------------------------------
+    def table(self, *keys: str, title: str = "Experiment sweep") -> str:
+        keys = keys or self.group_keys
+        rows = []
+        for key, group in self.group_by(*keys).items():
+            low, high = group.agreement_ci95()
+            rows.append(
+                [
+                    *key,
+                    len(group),
+                    f"{group.agreement_rate:.3f} [{low:.2f},{high:.2f}]",
+                    f"{group.summary('rounds').mean:.2f}",
+                    f"{group.summary('events_dispatched').mean:,.0f}",
+                    f"{group.summary('total_messages').mean:,.0f}",
+                    f"{group.summary('sim_time').mean:.1f}",
+                ]
+            )
+        return render_table(
+            title,
+            [*keys, "runs", "agree rate [CI95]", "rounds", "events", "msgs", "sim t"],
+            rows,
+            note=(
+                f"{len(self.records)} runs, {self.workers} worker(s), "
+                f"{self.wall_seconds:.1f}s wall"
+            ),
+        )
+
+
+__all__ = [
+    "ADVERSARIES",
+    "INPUT_PATTERNS",
+    "RunRecord",
+    "SCHEDULERS",
+    "Scenario",
+    "SweepResult",
+    "run_matrix",
+    "run_scenario",
+    "scenario_matrix",
+    "sweep_agreement",
+]

@@ -76,6 +76,13 @@ class ProcessHost:
         return name in self._modules
 
     def register_handler(self, tag: object, handler: Handler) -> None:
+        if self.runtime.routing_frozen:
+            raise SimulationError(
+                f"cannot register handler for {tag!r} on process {self.pid}: "
+                "routing is frozen (the flat dispatch table is built at the "
+                "first dispatched event; attach modules and register every "
+                "handler before running the simulation)"
+            )
         if tag in self._handlers:
             raise SimulationError(f"handler for {tag!r} already registered on {self.pid}")
         self._handlers[tag] = handler
@@ -114,8 +121,22 @@ class ProcessHost:
             self.runtime.transmit(self.pid, dst, produced, layer)
 
     def send_all(self, payload: tuple, layer: str) -> None:
-        """Plain point-to-point send to every process, self included."""
-        for dst in self.runtime.config.pids:
+        """Plain point-to-point send to every process, self included.
+
+        Honest uncrashed processes take the batched fast path: crash state
+        and the (absent) outbound filter are checked once here instead of
+        once per destination, and the runtime pushes the whole fan-out in
+        one call.  Byzantine senders fall back to ``n`` individual sends so
+        their filter sees every message, and the legacy engine always does
+        — matching the seed's per-destination cost model.
+        """
+        if self.crashed:
+            return
+        runtime = self.runtime
+        if self.outbound_filter is None and runtime.batch_sends:
+            runtime.transmit_all(self.pid, payload, layer)
+            return
+        for dst in runtime.config.pids:
             self.send(dst, payload, layer)
 
     def crash(self) -> None:

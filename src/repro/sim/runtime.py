@@ -4,15 +4,38 @@ Models the paper's system exactly: ``n`` processes, reliable private
 channels with unbounded but finite delay, delivery order chosen by the
 scheduler (i.e. by the adversary).  Everything is deterministic given the
 config seed, the scheduler, and the adversary.
+
+Two engines dispatch the same event stream in the same order:
+
+* ``"flat"`` (default) — at the first dispatched event the runtime
+  *freezes routing*: every honest, uncrashed host's ``tag -> handler``
+  table is snapshotted into an array indexed by pid, so the hot loop goes
+  straight from popped event to bound handler with no
+  ``ProcessHost.deliver`` indirection.  Crashed or byzantine hosts keep
+  the slow ``deliver`` path.  With a fixed-delay scheduler the engine also
+  swaps the binary heap for a bucketed calendar queue and lets ``send_all``
+  push a whole fan-out in one batch.
+* ``"legacy"`` — the seed engine (binary heap, per-event ``deliver``
+  routing, per-event predicate polling), kept so determinism and speedups
+  can be asserted against it by the regression tests and
+  ``benchmarks/bench_engine.py``.
+
+Waiting is notification-driven: protocol modules call
+:meth:`Runtime.notify_state_change` whenever observable state changes
+(a broadcast delivers, a VSS share completes, a coin lands, an agreement
+round advances or decides), and :meth:`Runtime.run_until` with
+``on_change=True`` re-evaluates its predicate only when the change counter
+moved — O(state changes) predicate evaluations instead of O(events).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable
 
 from repro.config import SystemConfig
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import EventQueue
+from repro.sim.events import BucketQueue, EventQueue
 from repro.sim.process import ProcessHost
 from repro.sim.scheduler import Scheduler, default_scheduler
 from repro.sim.tracing import TRACE_FULL, Trace
@@ -20,6 +43,13 @@ from repro.sim.tracing import TRACE_FULL, Trace
 #: Safety valve: a run dispatching more events than this is assumed stuck in
 #: a livelock (no correct experiment in this repo comes close).
 DEFAULT_MAX_EVENTS = 50_000_000
+
+#: Engine names accepted by :class:`Runtime` and ``build_stack``.
+ENGINE_FLAT = "flat"
+ENGINE_LEGACY = "legacy"
+ENGINES = (ENGINE_FLAT, ENGINE_LEGACY)
+
+_INF = float("inf")
 
 
 class Runtime:
@@ -30,16 +60,49 @@ class Runtime:
         config: SystemConfig,
         scheduler: Scheduler | None = None,
         trace_level: int = TRACE_FULL,
+        engine: str = ENGINE_FLAT,
     ):
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.config = config
         self.field = config.field
+        self.engine = engine
         self.now = 0.0
-        self.queue = EventQueue()
         self.trace = Trace.for_field(config.field, config.n, level=trace_level)
         self.scheduler = scheduler or default_scheduler(config.derive_rng("scheduler"))
+        #: Constant per-message delay, when the scheduler guarantees one and
+        #: the flat engine may exploit it (skips the per-send scheduler call
+        #: and enables the calendar queue + batched fan-outs).  The legacy
+        #: engine never uses it, preserving the seed cost model.
+        fixed = self.scheduler.fixed_delay() if engine == ENGINE_FLAT else None
+        if fixed is not None and (not (fixed > 0.0) or fixed == _INF):
+            raise SimulationError(
+                f"scheduler advertises illegal fixed delay {fixed!r}; the "
+                "model requires positive finite delays (eventual delivery)"
+            )
+        self._fixed_delay = fixed
+        self.queue = BucketQueue() if fixed is not None else EventQueue()
+        #: True when honest ``send_all`` may batch-push its fan-out.
+        self.batch_sends = engine == ENGINE_FLAT
         self.hosts: dict[int, ProcessHost] = {
             pid: ProcessHost(self, pid) for pid in config.pids
         }
+        # Flat-dispatch state; built by freeze_routing().  Index 0 unused
+        # (pids are 1..n), so event destinations index directly.
+        self._frozen = False
+        self._tables: list[dict | None] = [None] * (config.n + 1)
+        self._hosts_seq: list[ProcessHost | None] = [None] * (config.n + 1)
+        for pid, host in self.hosts.items():
+            self._hosts_seq[pid] = host
+        #: Events dispatched over the runtime's lifetime (always counted,
+        #: independent of the trace level).
+        self.events_dispatched = 0
+        #: ``run_until`` predicate evaluations (the O(events) vs
+        #: O(state changes) comparison the engine benchmark reports).
+        self.predicate_evals = 0
+        self._state_version = 0
 
     def host(self, pid: int) -> ProcessHost:
         try:
@@ -47,33 +110,111 @@ class Runtime:
         except KeyError:
             raise SimulationError(f"no process with id {pid}") from None
 
+    # -- notification-driven waits -------------------------------------------
+    def notify_state_change(self) -> None:
+        """Protocol modules call this when observable state changed.
+
+        ``run_until(..., on_change=True)`` only re-evaluates its predicate
+        after the version counter moved, so anything a wait predicate can
+        observe (broadcast deliveries, VSS completions and outputs, coin
+        outputs, agreement rounds/decisions) must be announced here by the
+        module that changed it.
+        """
+        self._state_version += 1
+
+    # -- routing freeze ------------------------------------------------------
+    @property
+    def routing_frozen(self) -> bool:
+        return self._frozen
+
+    def freeze_routing(self) -> None:
+        """Snapshot per-host handler tables into the flat dispatch array.
+
+        Called automatically at the first dispatched event of a flat-engine
+        run; registering further handlers afterwards raises (see
+        :meth:`ProcessHost.register_handler`).  Hosts that are crashed or
+        byzantine at freeze time — and any host that crashes later, which
+        the hot loop re-checks per event — stay on the slow
+        ``ProcessHost.deliver`` path.  A no-op on the legacy engine.
+        """
+        if self._frozen or self.engine != ENGINE_FLAT:
+            return
+        self._frozen = True
+        tables = self._tables
+        for pid, host in self.hosts.items():
+            if host.behavior is None and not host.crashed:
+                tables[pid] = dict(host._handlers)
+
     # -- transport -----------------------------------------------------------
     def transmit(self, src: int, dst: int, payload: tuple, layer: str) -> None:
         """Accept a message onto the (simulated) wire."""
         if dst not in self.hosts:
             raise SimulationError(f"send to unknown process {dst}")
-        delay = self.scheduler.delay(src, dst, payload, self.now)
-        if not (delay > 0.0) or delay != delay or delay == float("inf"):
-            raise SimulationError(
-                f"scheduler produced illegal delay {delay!r}; the model "
-                "requires positive finite delays (eventual delivery)"
-            )
+        delay = self._fixed_delay
+        if delay is None:
+            delay = self.scheduler.delay(src, dst, payload, self.now)
+            if not (delay > 0.0) or delay == _INF:
+                raise SimulationError(
+                    f"scheduler produced illegal delay {delay!r}; the model "
+                    "requires positive finite delays (eventual delivery)"
+                )
         trace = self.trace
         if trace.level:  # TRACE_OFF == 0: skip the call + Counter work
             trace.record_send(layer, payload)
         self.queue.push(self.now + delay, dst, src, payload)
+
+    def transmit_all(self, src: int, payload: tuple, layer: str) -> None:
+        """Accept one copy of ``payload`` for every process in one batch.
+
+        The honest-uncrashed ``send_all`` fast path: crash state and the
+        outbound filter were checked once by the caller, the trace is
+        updated once, and with a fixed-delay scheduler the whole fan-out is
+        pushed without per-destination scheduler calls.  Delay computation
+        order (dst ``1..n``) matches ``n`` individual sends exactly, so
+        seeded schedulers draw identical randomness either way.
+        """
+        n = self.config.n
+        trace = self.trace
+        if trace.level:
+            trace.record_send_many(layer, payload, n)
+        fixed = self._fixed_delay
+        if fixed is not None:
+            self.queue.push_fanout(self.now + fixed, src, payload, n)
+            return
+        now = self.now
+        delay_of = self.scheduler.delay
+        push = self.queue.push
+        for dst in range(1, n + 1):
+            delay = delay_of(src, dst, payload, now)
+            if not (delay > 0.0) or delay == _INF:
+                raise SimulationError(
+                    f"scheduler produced illegal delay {delay!r}; the model "
+                    "requires positive finite delays (eventual delivery)"
+                )
+            push(now + delay, dst, src, payload)
 
     # -- event loop --------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the next delivery; False when the queue is empty."""
         if not self.queue:
             return False
+        if not self._frozen and self.engine == ENGINE_FLAT:
+            self.freeze_routing()
         time, _, dst, src, payload = self.queue.pop()
         self.now = time
+        table = self._tables[dst]
+        if table is None:
+            self.hosts[dst].deliver(src, payload)
+        else:
+            host = self._hosts_seq[dst]
+            if not host.crashed and isinstance(payload, tuple) and payload:
+                handler = table.get(payload[0])
+                if handler is not None:
+                    handler(src, payload)
+        self.events_dispatched += 1
         trace = self.trace
         if trace.level:
-            trace.events_dispatched += 1
-        self.hosts[dst].deliver(src, payload)
+            trace.events_dispatched = self.events_dispatched
         return True
 
     def run_to_quiescence(self, max_events: int = DEFAULT_MAX_EVENTS) -> int:
@@ -83,39 +224,171 @@ class Runtime:
         quiescence (there is no "later" once nothing is in flight), so this
         is the canonical way tests drive a run to completion.
         """
-        dispatched = 0
-        while self.step():
-            dispatched += 1
-            if dispatched > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; likely livelock"
-                )
-        return dispatched
+        if self.engine == ENGINE_LEGACY:
+            return self._legacy_run(None, max_events)
+        return self._flat_run(None, max_events, False)
 
     def run_until(
         self,
         predicate: Callable[[], bool],
         max_events: int = DEFAULT_MAX_EVENTS,
+        on_change: bool = False,
     ) -> int:
-        """Run until ``predicate()`` holds; DeadlockError if we quiesce first."""
-        dispatched = 0
+        """Run until ``predicate()`` holds; DeadlockError if we quiesce first.
+
+        With ``on_change=True`` the predicate is re-evaluated only when
+        some module reported a state change via
+        :meth:`notify_state_change` (plus once at queue drain as a safety
+        net) — use it for predicates over protocol-observable state.  The
+        default re-evaluates after every event, which is always safe.  The
+        legacy engine ignores ``on_change`` and polls per event, exactly
+        like the seed.
+        """
+        self.predicate_evals += 1
         if predicate():
             return 0
-        while self.step():
-            dispatched += 1
-            if dispatched > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; likely livelock"
-                )
-            if predicate():
-                return dispatched
-        raise DeadlockError(
-            "event queue drained before the awaited condition became true"
-        )
+        if self.engine == ENGINE_LEGACY:
+            return self._legacy_run(predicate, max_events)
+        return self._flat_run(predicate, max_events, on_change)
 
     def run_steps(self, count: int) -> int:
         """Dispatch at most ``count`` events; returns how many ran."""
         dispatched = 0
         while dispatched < count and self.step():
             dispatched += 1
+        return dispatched
+
+    # -- engine internals --------------------------------------------------------
+    def _legacy_run(self, predicate, max_events: int) -> int:
+        """The seed event loop: one ``step()`` (heap pop + ``deliver``) and
+        one predicate poll per event."""
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely livelock"
+                )
+            if predicate is not None:
+                self.predicate_evals += 1
+                if predicate():
+                    return dispatched
+        if predicate is not None:
+            raise DeadlockError(
+                "event queue drained before the awaited condition became true"
+            )
+        return dispatched
+
+    def _flat_run(self, predicate, max_events: int, on_change: bool) -> int:
+        """The flat-dispatch hot loop.
+
+        Everything the per-event path touches is bound to locals; the
+        dispatch body is intentionally duplicated across the two queue
+        branches (calendar vs heap) because a shared helper would cost a
+        Python call per event — the exact overhead this loop removes.  The
+        calendar branch reaches into :class:`BucketQueue` internals for the
+        same reason; the queue's own ``pop()`` stays the reference
+        semantics (``step()`` uses it).
+        """
+        self.freeze_routing()
+        queue = self.queue
+        tables = self._tables
+        hosts_seq = self._hosts_seq
+        trace = self.trace
+        check = predicate is not None
+        # The caller evaluated the predicate before entering, so only a
+        # version moved *after* this point warrants a re-evaluation.
+        last_version = self._state_version
+        dispatched = 0
+        try:
+            if type(queue) is BucketQueue:
+                times = queue._times
+                buckets = queue._buckets
+                heappop = heapq.heappop
+                while times:
+                    time = times[0]
+                    bucket = buckets[time]
+                    self.now = time
+                    while bucket:
+                        _, _, dst, src, payload = bucket.popleft()
+                        queue._len -= 1
+                        dispatched += 1
+                        if dispatched > max_events:
+                            raise SimulationError(
+                                f"exceeded {max_events} events; likely livelock"
+                            )
+                        table = tables[dst]
+                        if table is not None:
+                            host = hosts_seq[dst]
+                            if (
+                                not host.crashed
+                                and isinstance(payload, tuple)
+                                and payload
+                            ):
+                                handler = table.get(payload[0])
+                                if handler is not None:
+                                    handler(src, payload)
+                        else:
+                            hosts_seq[dst].deliver(src, payload)
+                        if check:
+                            version = self._state_version
+                            if not on_change or version != last_version:
+                                last_version = version
+                                self.predicate_evals += 1
+                                if predicate():
+                                    if not bucket:
+                                        # Keep the queue canonical when the
+                                        # wait resolves on a bucket's last
+                                        # event (pop() also tolerates this).
+                                        del buckets[time]
+                                        heappop(times)
+                                    return dispatched
+                    # Strictly positive delays: nothing lands in the bucket
+                    # being drained, so it empties exactly once.
+                    del buckets[time]
+                    heappop(times)
+            else:
+                heap = queue._heap
+                heappop = heapq.heappop
+                while heap:
+                    time, _, dst, src, payload = heappop(heap)
+                    self.now = time
+                    dispatched += 1
+                    if dispatched > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely livelock"
+                        )
+                    table = tables[dst]
+                    if table is not None:
+                        host = hosts_seq[dst]
+                        if (
+                            not host.crashed
+                            and isinstance(payload, tuple)
+                            and payload
+                        ):
+                            handler = table.get(payload[0])
+                            if handler is not None:
+                                handler(src, payload)
+                    else:
+                        hosts_seq[dst].deliver(src, payload)
+                    if check:
+                        version = self._state_version
+                        if not on_change or version != last_version:
+                            last_version = version
+                            self.predicate_evals += 1
+                            if predicate():
+                                return dispatched
+        finally:
+            self.events_dispatched += dispatched
+            if trace.level:
+                trace.events_dispatched = self.events_dispatched
+        if check:
+            # Drained.  Re-check once before declaring deadlock: a predicate
+            # over state whose module forgot to notify still resolves here.
+            self.predicate_evals += 1
+            if predicate():
+                return dispatched
+            raise DeadlockError(
+                "event queue drained before the awaited condition became true"
+            )
         return dispatched

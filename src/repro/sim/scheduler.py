@@ -9,6 +9,7 @@ eventual delivery, exactly as the model demands.
 
 from __future__ import annotations
 
+import math
 from random import Random
 
 
@@ -22,6 +23,20 @@ class Scheduler:
 
     def delay(self, src: int, dst: int, payload: object, now: float) -> float:
         return 1.0
+
+    def fixed_delay(self) -> float | None:
+        """The constant every :meth:`delay` call returns, or None.
+
+        A non-None answer lets the runtime pick the bucketed calendar queue
+        and skip the per-message scheduler call entirely.  The default is
+        deliberately paranoid: it only claims a constant when :meth:`delay`
+        itself is *not* overridden, so a subclass that changes ``delay``
+        without thinking about this hint degrades to the general path
+        instead of silently mis-scheduling.
+        """
+        if type(self).delay is Scheduler.delay:
+            return 1.0
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -110,6 +125,15 @@ class IntermittentPartitionScheduler(Scheduler):
     During the first half of every period of length ``period``, messages
     crossing the ``group`` boundary are held for an extra ``hold`` delay.
     Models a flapping partition; eventual delivery still holds.
+
+    Phase invariant: the partition window of period ``k`` is
+    ``[k * period, k * period + period / 2)``.  The phase test uses
+    ``math.fmod(now, period)`` with a precomputed half-period:  ``fmod`` is
+    computed exactly for IEEE-754 doubles (no drift however large ``now``
+    grows — the regression test drives it past ``1e12``), and the guard
+    below keeps the phase inside ``[0, period)`` even for the rounding
+    corner cases where ``fmod`` can return a result equal to the modulus
+    sign-adjusted toward zero.
     """
 
     def __init__(
@@ -124,13 +148,17 @@ class IntermittentPartitionScheduler(Scheduler):
         self._base = base
         self._group = frozenset(group)
         self._period = period
+        self._half_period = period / 2.0
         self._hold = hold
 
     def delay(self, src: int, dst: int, payload: object, now: float) -> float:
         base = self._base.delay(src, dst, payload, now)
-        crossing = (src in self._group) != (dst in self._group)
-        partitioned = (now % self._period) < (self._period / 2)
-        if crossing and partitioned:
+        if (src in self._group) == (dst in self._group):
+            return base  # not crossing: the partition never applies
+        phase = math.fmod(now, self._period)
+        if phase < 0.0:
+            phase += self._period
+        if phase < self._half_period:
             return base + self._hold
         return base
 

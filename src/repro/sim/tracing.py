@@ -101,6 +101,19 @@ class Trace:
                 payload, self.field_bytes, self.n
             )
 
+    def record_send_many(self, layer: str, payload: object, count: int) -> None:
+        """Record ``count`` identical sends at once (the ``send_all`` fast
+        path): one counter update and at most one payload size walk instead
+        of ``count`` of each.  Totals match ``count`` calls to
+        :meth:`record_send` exactly."""
+        if self.level < TRACE_COUNTS:
+            return
+        self.messages_by_layer[layer] += count
+        if self.measure_bytes:
+            self.bytes_by_layer[layer] += count * estimate_size(
+                payload, self.field_bytes, self.n
+            )
+
     def record_shun(self, observer: int, culprit: int, session: object, time: float) -> None:
         if self.level < TRACE_COUNTS:
             return

@@ -1,0 +1,135 @@
+"""Tests for the parallel experiment harness (``repro.sim.experiments``).
+
+Includes the CI smoke sweep the acceptance criteria call for: 500+ seeded
+agreement runs through ``run_matrix``, aggregated into
+``repro.analysis``-backed statistics tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.errors import ConfigurationError
+from repro.sim.experiments import (
+    ADVERSARIES,
+    INPUT_PATTERNS,
+    SCHEDULERS,
+    Scenario,
+    run_matrix,
+    run_scenario,
+    scenario_matrix,
+    sweep_agreement,
+)
+
+
+def _no_wall(records):
+    """Wall-clock is the one legitimately nondeterministic record field."""
+    return [replace(r, wall_seconds=0.0) for r in records]
+
+
+class TestRegistries:
+    def test_expected_entries(self):
+        assert {"unit", "fifo", "uniform", "exponential", "targeted", "partition"} <= set(
+            SCHEDULERS
+        )
+        assert {"none", "crash-one", "silent-one", "random"} <= set(ADVERSARIES)
+        assert {"split", "ones", "zeros", "random"} <= set(INPUT_PATTERNS)
+
+    def test_validate_rejects_unknown_names(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(n=4, seed=0, scheduler="tachyon").validate()
+        with pytest.raises(ConfigurationError):
+            Scenario(n=4, seed=0, adversary="gremlin").validate()
+        with pytest.raises(ConfigurationError):
+            Scenario(n=4, seed=0, inputs="fibonacci").validate()
+        with pytest.raises(ConfigurationError):
+            Scenario(n=4, seed=0, engine="warp").validate()
+
+
+class TestScenarioMatrix:
+    def test_cross_product_and_overrides(self):
+        matrix = scenario_matrix(
+            ns=(4, 7),
+            schedulers=("fifo", "uniform"),
+            adversaries=("none",),
+            seeds=range(3),
+            inputs="ones",
+        )
+        assert len(matrix) == 2 * 2 * 1 * 3
+        assert {s.inputs for s in matrix} == {"ones"}
+        assert {(s.n, s.scheduler, s.adversary, s.seed) for s in matrix} == {
+            (n, sch, "none", seed)
+            for n in (4, 7)
+            for sch in ("fifo", "uniform")
+            for seed in range(3)
+        }
+
+
+class TestRunScenario:
+    def test_deterministic_and_well_formed(self):
+        scenario = Scenario(n=4, seed=9, scheduler="uniform")
+        first, second = run_scenario(scenario), run_scenario(scenario)
+        assert _no_wall([first]) == _no_wall([second])
+        assert first.agreed and first.terminated
+        assert first.decision in (0, 1)
+        assert first.events_dispatched > 0
+        assert first.messages_pushed >= first.events_dispatched
+        assert first.predicate_evals <= first.events_dispatched / 5
+
+    def test_adversarial_scenario_runs(self):
+        record = run_scenario(
+            Scenario(n=7, seed=1, scheduler="targeted", adversary="silent-one")
+        )
+        assert record.agreed
+
+
+class TestRunMatrix:
+    def test_worker_pool_equals_inline(self):
+        matrix = scenario_matrix(
+            ns=(4,),
+            schedulers=("fifo", "uniform"),
+            adversaries=("none", "silent-one"),
+            seeds=range(4),
+        )
+        inline = run_matrix(matrix, workers=1)
+        pooled = run_matrix(matrix, workers=2)
+        assert pooled.workers == 2
+        assert _no_wall(inline.records) == _no_wall(pooled.records)
+
+    def test_smoke_sweep_500_runs_feeds_analysis(self):
+        """The CI smoke workload: >= 500 seeded runs in one call, aggregated
+        through repro.analysis statistics."""
+        matrix = scenario_matrix(
+            ns=(4, 7),
+            schedulers=("fifo", "uniform"),
+            adversaries=("none", "silent-one"),
+            seeds=range(64),
+        )
+        assert len(matrix) == 512
+        sweep = run_matrix(matrix, workers=1)
+        assert len(sweep) == 512
+        assert sweep.agreement_rate == 1.0
+        low, high = sweep.agreement_ci95()
+        assert low > 0.98 and high == 1.0
+        # Grouping: one sub-sweep per (n, scheduler, adversary) cell.
+        assert len(sweep.group_by()) == 8
+        rounds = sweep.summary("rounds")
+        assert rounds.count == 512 and rounds.mean >= 1.0
+        # Complexity shape: message growth in n fits a polynomial.
+        points = sweep.complexity_points("total_messages")
+        assert [n for n, _ in points] == [4.0, 7.0]
+        bigger = sweep.complexity_points("events_dispatched")
+        assert bigger[1][1] > bigger[0][1]
+        fit = fit_power_law(points)
+        assert 0.5 < fit.exponent < 6.0
+        table = sweep.table()
+        assert "512 runs" in table and "agree rate" in table
+
+    def test_sweep_agreement_wrapper(self):
+        sweep = sweep_agreement(
+            ns=(4,), schedulers=("fifo",), seeds=range(2), workers=1
+        )
+        assert len(sweep) == 2 and sweep.agreement_rate == 1.0

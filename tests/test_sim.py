@@ -8,7 +8,7 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import EventQueue
+from repro.sim.events import BucketQueue, EventQueue
 from repro.sim.runtime import Runtime
 from repro.sim.scheduler import (
     ExponentialDelayScheduler,
@@ -48,6 +48,55 @@ class TestEventQueue:
             q.push(1.0, 1, 1, None)
         q.pop()
         assert q.pushed_total == 5
+
+
+class TestBucketQueue:
+    """The calendar queue must be observationally identical to the heap."""
+
+    def test_orders_by_time_and_fifo_within_time(self):
+        q = BucketQueue()
+        q.push(5.0, 1, 2, "late")
+        q.push(1.0, 1, 2, "early")
+        q.push(1.0, 1, 2, "early-2")
+        assert [q.pop()[4] for _ in range(3)] == ["early", "early-2", "late"]
+
+    def test_len_bool_pushed_total(self):
+        q = BucketQueue()
+        assert not q
+        for _ in range(5):
+            q.push(1.0, 1, 1, None)
+        q.pop()
+        assert q and len(q) == 4 and q.pushed_total == 5
+
+    def test_push_fanout_matches_individual_pushes(self):
+        fan, ind = BucketQueue(), BucketQueue()
+        fan.push_fanout(2.0, 9, ("m",), 4)
+        for dst in range(1, 5):
+            ind.push(2.0, dst, 9, ("m",))
+        assert [fan.pop() for _ in range(4)] == [ind.pop() for _ in range(4)]
+        assert fan.pushed_total == ind.pushed_total == 4
+
+    def test_interleaved_matches_heap_queue(self):
+        """Fuzz: with heavily shared timestamps, pop order equals the heap's."""
+        rng = random.Random(3)
+        heap_q, bucket_q = EventQueue(), BucketQueue()
+        popped_heap, popped_bucket = [], []
+        clock = 0.0
+        for _ in range(500):
+            if rng.random() < 0.6 or not heap_q:
+                time = clock + rng.choice([1.0, 2.0, 3.0])
+                dst = rng.randrange(1, 5)
+                heap_q.push(time, dst, 0, "p")
+                bucket_q.push(time, dst, 0, "p")
+            else:
+                event = heap_q.pop()
+                popped_heap.append(event)
+                popped_bucket.append(bucket_q.pop())
+                clock = event[0]  # simulated now advances like the runtime's
+        while heap_q:
+            popped_heap.append(heap_q.pop())
+            popped_bucket.append(bucket_q.pop())
+        assert popped_heap == popped_bucket
 
 
 class TestSchedulers:
@@ -95,6 +144,39 @@ class TestSchedulers:
     def test_describe_strings(self):
         assert "Targeted" in TargetedDelayScheduler(FifoScheduler(), {1}).describe()
         assert "Uniform" in UniformDelayScheduler(random.Random(0)).describe()
+
+    def test_partition_phase_stable_at_large_times(self):
+        """Invariant: the window of period ``k`` is ``[k*p, k*p + p/2)``,
+        held exactly (``math.fmod``) even at ``now > 1e12``."""
+        s = IntermittentPartitionScheduler(
+            FifoScheduler(), group={1, 2}, period=50.0, hold=25.0
+        )
+        big = 1e12  # an exact multiple of 50.0, far beyond any real run
+        assert s.delay(1, 3, None, big) == 26.0  # phase 0: window closed
+        assert s.delay(1, 3, None, big + 10.0) == 26.0  # phase 10 < 25
+        assert s.delay(1, 3, None, big + 25.0) == 1.0  # phase 25: open
+        assert s.delay(1, 3, None, big + 49.0) == 1.0  # phase 49: still open
+        assert s.delay(1, 3, None, big + 50.0) == 26.0  # next period closes
+        # Non-crossing traffic never pays, whatever the phase.
+        assert s.delay(1, 2, None, big) == 1.0
+
+    def test_fixed_delay_hint(self):
+        """Only schedulers that provably return a constant advertise one."""
+        assert Scheduler().fixed_delay() == 1.0
+        assert FifoScheduler().fixed_delay() == 1.0
+        assert UniformDelayScheduler(random.Random(0)).fixed_delay() is None
+        assert TargetedDelayScheduler(FifoScheduler(), {1}).fixed_delay() is None
+        assert (
+            IntermittentPartitionScheduler(FifoScheduler(), {1}).fixed_delay()
+            is None
+        )
+
+        class QuietlyOverridden(Scheduler):
+            def delay(self, src, dst, payload, now):
+                return 2.0
+
+        # Overriding delay() without fixed_delay() must drop the hint.
+        assert QuietlyOverridden().fixed_delay() is None
 
 
 class _Recorder:
@@ -226,6 +308,154 @@ class TestRuntime:
         rt.run_to_quiescence()
         assert times == sorted(times)
         assert rt.now > 0
+
+
+class TestFlatDispatch:
+    """The frozen routing table must keep ``deliver``'s lenient semantics."""
+
+    def test_queue_selection(self):
+        cfg = SystemConfig(n=3, t=0, seed=0)
+        assert isinstance(Runtime(cfg, scheduler=FifoScheduler()).queue, BucketQueue)
+        assert isinstance(Runtime(cfg).queue, EventQueue)  # uniform delays
+        assert isinstance(
+            Runtime(cfg, scheduler=FifoScheduler(), engine="legacy").queue,
+            EventQueue,
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            Runtime(SystemConfig(n=3, t=0, seed=0), engine="warp")
+
+    def test_register_after_freeze_raises(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg)
+        _Recorder(rt.host(2))
+        rt.host(1).send(2, ("ping", 1), "test")
+        rt.run_to_quiescence()
+        assert rt.routing_frozen
+        with pytest.raises(SimulationError, match="routing is frozen"):
+            rt.host(2).register_handler("late", lambda s, p: None)
+        # Legacy engines never freeze, preserving the seed semantics.
+        legacy = Runtime(cfg, engine="legacy")
+        legacy.host(1).send(2, ("ping", 1), "test")
+        legacy.run_to_quiescence()
+        legacy.host(2).register_handler("late", lambda s, p: None)
+
+    @pytest.mark.parametrize("scheduler", [None, FifoScheduler()])
+    def test_malformed_payloads_dropped_on_fast_path(self, scheduler):
+        """Byzantine peers can put arbitrary bytes on the wire; the frozen
+        table must drop unknown tags and non-tuple garbage as silently as
+        ``deliver`` does, on both queue flavours."""
+        cfg = SystemConfig(n=2, t=1, seed=0)
+        rt = Runtime(cfg, scheduler=scheduler)
+        rec = _Recorder(rt.host(2))
+        evil = rt.host(1)
+        garbage = [("unknown-tag", 1), (), None, 42, "ping", [1, 2], {"a": 1}]
+        evil.outbound_filter = lambda dst, payload: garbage
+        evil.send(2, ("x",), "test")
+        evil.outbound_filter = None
+        evil.send(2, ("ping", "ok"), "test")
+        rt.run_to_quiescence()
+        assert [p for _, p in rec.got] == [("ping", "ok")]
+
+    def test_crash_after_freeze_stops_fast_path_delivery(self):
+        cfg = SystemConfig(n=2, t=1, seed=0)
+        rt = Runtime(cfg, scheduler=FifoScheduler())
+        rec = _Recorder(rt.host(2))
+        rt.host(1).send(2, ("ping", 1), "test")
+        rt.run_to_quiescence()
+        assert len(rec.got) == 1
+        rt.host(2).crash()  # after the routing table was frozen
+        rt.host(1).send(2, ("ping", 2), "test")
+        rt.run_to_quiescence()
+        assert len(rec.got) == 1
+
+    def test_byzantine_host_keeps_slow_path_and_still_receives(self):
+        cfg = SystemConfig(n=2, t=1, seed=0)
+        rt = Runtime(cfg)
+        rec = _Recorder(rt.host(2))
+        rt.host(2).behavior = object()  # marked byzantine before the freeze
+        rt.host(1).send(2, ("ping", 1), "test")
+        rt.run_to_quiescence()
+        assert rt._tables[2] is None  # routed through deliver, not the table
+        assert [p for _, p in rec.got] == [("ping", 1)]
+
+    def test_send_all_fast_path_counts_and_delivers_like_sends(self):
+        def run(engine):
+            cfg = SystemConfig(n=4, seed=2)
+            rt = Runtime(cfg, scheduler=FifoScheduler(), engine=engine)
+            recs = {pid: _Recorder(rt.host(pid)) for pid in cfg.pids}
+            rt.host(1).send_all(("ping", 7), "layer-a")
+            rt.run_to_quiescence()
+            got = {pid: r.got for pid, r in recs.items()}
+            return got, dict(rt.trace.messages_by_layer), rt.queue.pushed_total
+
+        assert run("flat") == run("legacy")
+
+    def test_send_all_respects_outbound_filter(self):
+        cfg = SystemConfig(n=3, t=1, seed=0)
+        rt = Runtime(cfg, scheduler=FifoScheduler())
+        recs = {pid: _Recorder(rt.host(pid)) for pid in cfg.pids}
+        rt.host(1).outbound_filter = lambda dst, payload: (
+            None if dst == 2 else payload
+        )
+        rt.host(1).send_all(("ping", 0), "test")
+        rt.run_to_quiescence()
+        assert [len(recs[pid].got) for pid in cfg.pids] == [1, 0, 1]
+
+    def test_run_until_on_change_waits_for_notifications(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg, scheduler=FifoScheduler())
+        seen = []
+
+        def handler(src, payload):
+            seen.append(payload)
+            if len(seen) == 3:  # the "module" announces its state change
+                rt.notify_state_change()
+
+        rt.host(2).register_handler("m", handler)
+        for i in range(6):
+            rt.host(1).send(2, ("m", i), "test")
+        before = rt.predicate_evals
+        rt.run_until(lambda: len(seen) >= 3, on_change=True)
+        assert len(seen) == 3
+        # One initial check, one re-check on the (single) notification.
+        assert rt.predicate_evals - before == 2
+
+    def test_run_until_early_return_keeps_bucket_queue_poppable(self):
+        """Regression: a wait resolving on a bucket's last event must not
+        strand an empty deque at the head of the calendar queue — later
+        ``step()``/``run_steps()`` pops have to keep working."""
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg, scheduler=FifoScheduler())
+        rec = _Recorder(rt.host(2))
+        rt.host(1).send(2, ("ping", 1), "test")  # arrives at t=1
+        rt.run_to_quiescence()
+        rt.host(1).send(2, ("ping", 2), "test")  # t=2 (sole event at t=2)
+        rt.host(1).send(2, ("ping", 3), "test")  # t=2 bucket-mate
+        rt.run_until(lambda: len(rec.got) >= 2)  # returns mid-bucket
+        rt.host(1).send(2, ("ping", 4), "test")  # t=3
+        assert rt.run_steps(5) == 2  # drains t=2 leftover, then t=3
+        assert [p[1] for _, p in rec.got] == [1, 2, 3, 4]
+
+    def test_run_until_early_return_on_last_bucket_event_then_pop(self):
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg, scheduler=FifoScheduler())
+        rec = _Recorder(rt.host(2))
+        rt.host(1).send(2, ("ping", 1), "test")  # t=1
+        rt.run_until(lambda: len(rec.got) >= 1)  # t=1 bucket fully drained
+        rt.host(1).send(2, ("ping", 2), "test")  # t=2
+        assert rt.queue.pop()[4] == ("ping", 2)
+
+    def test_run_until_on_change_rechecks_at_drain(self):
+        """A predicate whose module never notifies must still resolve at
+        quiescence instead of raising a spurious DeadlockError."""
+        cfg = SystemConfig(n=2, t=0, seed=0)
+        rt = Runtime(cfg, scheduler=FifoScheduler())
+        rec = _Recorder(rt.host(2))
+        rt.host(1).send(2, ("ping", 0), "test")
+        dispatched = rt.run_until(lambda: len(rec.got) >= 1, on_change=True)
+        assert dispatched == 1
 
 
 class TestTracing:
