@@ -1,0 +1,145 @@
+"""Batched-agreement benchmark — emits ``BENCH_batch.json``.
+
+Measures the instance-multiplexing refactor end to end: ``K`` concurrent
+agreement instances on one runtime (``run_byzantine_agreement_batch``,
+shared round coin) against ``K`` sequential solo stacks.
+
+1. **SVSS batch throughput** (the acceptance gate): aggregate decisions
+   per second at ``n = 7`` for ``K ∈ {1, 4, 16}``, full shunning-coin
+   stack, unit-delay network, ``TRACE_OFF``.  The sequential baseline's
+   aggregate throughput is ``K`` decisions in ``K`` solo runs — i.e.
+   ``1 / t_solo`` independent of ``K`` — so one timed solo run prices the
+   whole baseline.  Gate: ``K = 16`` batched ≥ 2x sequential (measured
+   headroom is ~an order of magnitude: the coin is ~97% of a solo run's
+   events and the batch pays it once per round instead of per instance).
+2. **Ideal-coin multiplexing overhead**: the same series with a free coin
+   — there is nothing to amortize, so this pins the cost of multiplexing
+   itself (expected ~1x, i.e. the demux layer is not a tax).
+
+The JSON artifact is committed at the repo root so the perf trajectory is
+diffable across PRs, next to ``BENCH_algebra.json`` / ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+
+from bench_common import best_of, write_bench_json
+from repro.analysis.tables import render_table
+from repro.config import SystemConfig
+from repro.core.api import run_byzantine_agreement, run_byzantine_agreement_batch
+from repro.sim.scheduler import FifoScheduler
+from repro.sim.tracing import TRACE_OFF
+
+N = 7
+KS = (1, 4, 16)
+SEED = 3
+
+
+def _inputs(k: int) -> list[list[int]]:
+    return [[(i + shift) % 2 for i in range(N)] for shift in range(k)]
+
+
+def _solo(coin) -> float:
+    start = time.perf_counter()
+    result = run_byzantine_agreement(
+        _inputs(1)[0],
+        SystemConfig(n=N, seed=SEED),
+        coin=coin,
+        scheduler=FifoScheduler(),
+        trace_level=TRACE_OFF,
+    )
+    seconds = time.perf_counter() - start
+    assert result.agreed, f"solo {coin} failed to agree"
+    return seconds
+
+
+def _batch(k: int, coin) -> tuple[float, int, int]:
+    start = time.perf_counter()
+    result = run_byzantine_agreement_batch(
+        _inputs(k),
+        SystemConfig(n=N, seed=SEED),
+        coin=coin,
+        scheduler=FifoScheduler(),
+        trace_level=TRACE_OFF,
+    )
+    seconds = time.perf_counter() - start
+    assert result.agreed, f"batch K={k} {coin} failed to agree"
+    return seconds, result.events_dispatched, result.max_rounds
+
+
+def _series(coin, repeats: int) -> dict:
+    solo_seconds = best_of(lambda: _solo(coin), repeats=repeats)
+    sequential_rate = 1.0 / solo_seconds  # K decisions / (K * t_solo)
+    rows = []
+    for k in KS:
+        seconds, events, rounds = _batch(k, coin)
+        rows.append(
+            {
+                "k": k,
+                "seconds": seconds,
+                "events_dispatched": events,
+                "max_rounds": rounds,
+                "decisions_per_sec": k / seconds,
+                "speedup_vs_sequential": (k / seconds) / sequential_rate,
+            }
+        )
+    return {
+        "solo_seconds": solo_seconds,
+        "sequential_decisions_per_sec": sequential_rate,
+        "batches": rows,
+    }
+
+
+def test_bench_batch(emit):
+    svss = _series("svss", repeats=2)
+    ideal = _series(("ideal", 1.0), repeats=3)
+    payload = {
+        "python": platform.python_version(),
+        "scenario": {
+            "n": N,
+            "ks": list(KS),
+            "scheduler": "FifoScheduler",
+            "trace_level": "TRACE_OFF",
+            "seed": SEED,
+            "share_coin": True,
+        },
+        "svss": svss,
+        "ideal": ideal,
+    }
+    path = write_bench_json("batch", payload)
+
+    def table(title: str, series: dict) -> str:
+        return render_table(
+            title,
+            ["K", "events", "rounds", "seconds", "decisions/s", "vs sequential"],
+            [
+                [
+                    row["k"],
+                    f"{row['events_dispatched']:,}",
+                    row["max_rounds"],
+                    f"{row['seconds']:.2f}",
+                    f"{row['decisions_per_sec']:.2f}",
+                    f"{row['speedup_vs_sequential']:.2f}x",
+                ]
+                for row in series["batches"]
+            ],
+            note=(
+                f"sequential baseline: {series['solo_seconds']:.2f}s/solo run "
+                f"= {series['sequential_decisions_per_sec']:.2f} decisions/s; "
+                f"artifact: {path.name}"
+            ),
+        )
+
+    emit(table(f"Batched agreement, SVSS shared round coin (n={N})", svss))
+    emit(table(f"Batched agreement, ideal coin (multiplexing overhead, n={N})", ideal))
+
+    # Acceptance gate of this PR: K=16 batched >= 2x the aggregate
+    # decisions/sec of 16 sequential stacks, full SVSS stack.
+    k16 = next(row for row in svss["batches"] if row["k"] == 16)
+    assert k16["speedup_vs_sequential"] >= 2.0, k16
+    # The multiplexing layer itself must not tax the free-coin path by
+    # more than dispatch noise.
+    k1 = next(row for row in ideal["batches"] if row["k"] == 1)
+    assert k1["speedup_vs_sequential"] >= 0.5, k1

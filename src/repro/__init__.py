@@ -39,12 +39,15 @@ from repro.config import SystemConfig, max_faults
 from repro.core import (
     BOTTOM,
     AgreementResult,
+    BatchAgreementResult,
     CoinResult,
+    ProtocolModule,
     Stack,
     VSSResult,
     build_stack,
     flip_common_coin,
     run_byzantine_agreement,
+    run_byzantine_agreement_batch,
     run_mwsvss,
     run_svss,
 )
@@ -65,12 +68,14 @@ __all__ = [
     "Adversary",
     "AgreementResult",
     "BOTTOM",
+    "BatchAgreementResult",
     "CoinResult",
     "ConfigurationError",
     "DeadlockError",
     "FieldError",
     "PolynomialError",
     "ProtocolError",
+    "ProtocolModule",
     "ReproError",
     "SimulationError",
     "Stack",
@@ -87,6 +92,7 @@ __all__ = [
     "random_adversary",
     "run_benor",
     "run_byzantine_agreement",
+    "run_byzantine_agreement_batch",
     "run_mwsvss",
     "run_svss",
     "silent_adversary",

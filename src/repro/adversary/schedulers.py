@@ -47,23 +47,23 @@ class VoteBalancingScheduler(Scheduler):
     def _vote_value(payload: object) -> int | None:
         """The binary value a vote message argues for, if any."""
         vote = None
+        # ABA votes travel as RB values ("aba", instance_id, r, phase, vote);
+        # Ben-Or votes as plain sends ("benor", instance_id, r, phase, vote).
         if (
             isinstance(payload, tuple)
             and len(payload) == 3
             and payload[0] in ("b1", "b2", "b3")
             and isinstance(payload[2], tuple)
-            and len(payload[2]) == 4
-            and isinstance(payload[2][0], str)
-            and payload[2][0].startswith("aba:")
+            and len(payload[2]) == 5
+            and payload[2][0] == "aba"
         ):
-            vote = payload[2][3]
+            vote = payload[2][4]
         elif (
             isinstance(payload, tuple)
-            and len(payload) == 4
-            and isinstance(payload[0], str)
-            and payload[0].startswith("benor:")
+            and len(payload) == 5
+            and payload[0] == "benor"
         ):
-            vote = payload[3]
+            vote = payload[4]
         if vote in (0, 1):
             return vote
         if isinstance(vote, tuple) and len(vote) == 2 and vote[0] in (0, 1):

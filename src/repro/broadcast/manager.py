@@ -14,7 +14,23 @@ Wire messages (all on the ``rb`` accounting layer):
 
 Delivered values are routed to subscribers by *topic*: a broadcast value is
 itself a tuple whose first element names the protocol that owns it (e.g.
-``"vss"``, ``"coin"``, ``"aba"``).
+``"vss"``, ``"coin"``, ``"aba"``).  A topic is either subscribed whole
+(:meth:`BroadcastManager.subscribe`) or *per instance*
+(:meth:`BroadcastManager.subscribe_slot`): instance-scoped values carry
+their instance id in position 1 and are demuxed to the matching slot, so
+many live instances of one protocol module share a topic without
+string-prefixed topic names — and slots can be added or removed mid-run.
+
+Echo tallies are *counter-based*: per bid the manager keeps each sender's
+first value plus a value→count map, not a per-value set of senders.  The
+value map is bounded: extra (non-first) values stop being admitted once
+``2n + t`` values are tracked, and since each of the ``n`` senders
+contributes at most one first value — admitted unconditionally, so honest
+echoes are never capped — a byzantine value flood can never grow a bid
+past ``3n + t`` tracked values.  Every execution that stays under the
+admission threshold (in particular every one with only honest senders,
+who send at most one echo per bid) accepts and delivers exactly as the
+set-based bookkeeping did.
 """
 
 from __future__ import annotations
@@ -22,7 +38,8 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.errors import ProtocolError
-from repro.sim.process import ProcessHost
+from repro.sim.module import ProtocolModule
+from repro.sim.process import InstanceSlots, ProcessHost
 
 LAYER = "rb"
 
@@ -54,14 +71,19 @@ DeliverHandler = Callable[[int, tuple], None]
 # Per-instance state indices (plain lists beat attribute lookups at the
 # message rates the VSS stack generates).
 _SENT2 = 0  # sent a type-2 message for this bid
-_TYPE2 = 1  # value -> set of senders
-_ACCEPTED = 2  # WRB accepted (type-2 threshold reached)
-_SENT3 = 3  # sent a type-3 message
-_TYPE3 = 4  # value -> set of senders
-_DELIVERED = 5  # RB delivered
+_FIRST2 = 1  # sender -> its first type-2 value
+_COUNTS2 = 2  # value -> tally of distinct (sender, value) echoes
+_ACCEPTED = 3  # WRB accepted (type-2 threshold reached)
+_SENT3 = 4  # sent a type-3 message
+_FIRST3 = 5  # sender -> its first type-3 value
+_COUNTS3 = 6  # value -> tally
+_DELIVERED = 7  # RB delivered
+_EXTRA = 8  # None | set of (kind, sender, value): byzantine multi-value dedup
+
+_MISSING = object()
 
 
-class BroadcastManager:
+class BroadcastManager(ProtocolModule):
     """All WRB/RB instances of one process.
 
     Exposes :meth:`broadcast` (RB), :meth:`broadcast_weak` (WRB only, used
@@ -69,20 +91,29 @@ class BroadcastManager:
     and topic subscription for deliveries.
     """
 
+    MODULE_KIND = "broadcast"
+
     def __init__(self, host: ProcessHost):
-        self.host = host
-        self._runtime = host.runtime
-        self.n = host.runtime.config.n
-        self.t = host.runtime.config.t
+        super().__init__()
         self._instances: dict[object, list] = {}
         self._weak_only: set[object] = set()
         self._topic_handlers: dict[str, DeliverHandler] = {}
+        self._topic_slots_tables: dict[str, InstanceSlots] = {}
         self._wrb_handlers: dict[str, DeliverHandler] = {}
         self.delivered_values: dict[object, tuple[int, tuple]] = {}
-        host.attach("broadcast", self)
-        host.register_handler("b1", self._on_b1)
-        host.register_handler("b2", self._on_b2)
-        host.register_handler("b3", self._on_b3)
+        self.attach(host)
+
+    def _wire(self, host: ProcessHost) -> None:
+        self._runtime = host.runtime
+        self.n = host.runtime.config.n
+        self.t = host.runtime.config.t
+        #: Admission threshold for *extra* (non-first) values per bid;
+        #: first values always pass, so the hard per-bid bound is
+        #: ``_value_cap + n``.  See module docstring.
+        self._value_cap = 2 * self.n + self.t
+        self.register("b1", self._on_b1)
+        self.register("b2", self._on_b2)
+        self.register("b3", self._on_b3)
 
     # -- public API -----------------------------------------------------------
     def subscribe(self, topic: str, handler: DeliverHandler) -> None:
@@ -90,6 +121,46 @@ class BroadcastManager:
         if topic in self._topic_handlers:
             raise ProtocolError(f"topic {topic!r} already subscribed")
         self._topic_handlers[topic] = handler
+
+    def unsubscribe(self, topic: str) -> None:
+        """Release a whole topic (or a topic's entire slot table)."""
+        if topic not in self._topic_handlers:
+            raise ProtocolError(f"topic {topic!r} is not subscribed")
+        del self._topic_handlers[topic]
+        self._topic_slots_tables.pop(topic, None)
+
+    def subscribe_slot(
+        self, topic: str, instance_id: object, handler: DeliverHandler
+    ) -> None:
+        """Receive RB deliveries ``(topic, instance_id, ...)`` for one live
+        instance.  Slots may be added and removed while the run is going."""
+        slots = self._topic_slots_tables.get(topic)
+        if slots is None:
+            if topic in self._topic_handlers:
+                raise ProtocolError(
+                    f"topic {topic!r} already subscribed whole; it cannot "
+                    "also be instance-demuxed"
+                )
+            slots = InstanceSlots(topic)
+            self._topic_slots_tables[topic] = slots
+            self._topic_handlers[topic] = slots.dispatch
+        slots.add(instance_id, handler)
+
+    def unsubscribe_slot(self, topic: str, instance_id: object) -> None:
+        slots = self._topic_slots_tables.get(topic)
+        if slots is None:
+            raise ProtocolError(f"topic {topic!r} has no instance slots")
+        slots.remove(instance_id)
+        if not slots.slots:
+            # Topic routing is not frozen, so an emptied table can release
+            # its claim (a later subscribe/subscribe_slot re-creates it).
+            del self._topic_slots_tables[topic]
+            del self._topic_handlers[topic]
+
+    def topic_slots(self, topic: str) -> dict[object, DeliverHandler]:
+        """Live instance slots under ``topic`` (read-only view)."""
+        slots = self._topic_slots_tables.get(topic)
+        return dict(slots.slots) if slots is not None else {}
 
     def subscribe_weak(self, topic: str, handler: DeliverHandler) -> None:
         """Receive WRB accepts for weak-only broadcasts on ``topic``."""
@@ -122,9 +193,41 @@ class BroadcastManager:
     def _instance(self, bid: object) -> list:
         inst = self._instances.get(bid)
         if inst is None:
-            inst = [False, {}, False, False, {}, False]
+            inst = [False, {}, {}, False, False, {}, {}, False, None]
             self._instances[bid] = inst
         return inst
+
+    def _tally(self, inst: list, first_idx: int, counts: dict, src: int, value: object) -> int:
+        """Count one ``(src, value)`` echo; returns the new tally for
+        ``value``, or 0 if the echo was a duplicate or over the value cap.
+
+        Raises ``TypeError`` on unhashable byzantine garbage (callers drop
+        the message), before any state is touched.
+        """
+        first = inst[first_idx]
+        prev = first.get(src, _MISSING)
+        if prev is _MISSING:
+            # A sender's first value is always tallied — honest echoes are
+            # all first values, so honest accept/deliver behaviour is exact.
+            count = counts.get(value, 0)  # TypeError -> caller drops
+            first[src] = value
+        elif prev == value:
+            return 0  # duplicate echo
+        else:
+            # Byzantine multi-value sender: tally each (src, value) pair at
+            # most once, and never track more than _value_cap extra values.
+            count = counts.get(value, 0)
+            if count == 0 and len(counts) >= self._value_cap:
+                return 0  # bounded per-bid value map (value-flood hardening)
+            extra = inst[_EXTRA]
+            if extra is None:
+                extra = inst[_EXTRA] = set()
+            key = (first_idx, src, value)
+            if key in extra:
+                return 0
+            extra.add(key)
+        counts[value] = count = count + 1
+        return count
 
     # -- WRB ------------------------------------------------------------
     def _on_b1(self, src: int, payload: tuple) -> None:
@@ -147,13 +250,10 @@ class BroadcastManager:
             return
         inst = self._instance(bid)
         try:
-            senders = inst[_TYPE2].setdefault(value, set())
+            count = self._tally(inst, _FIRST2, inst[_COUNTS2], src, value)
         except TypeError:
             return  # unhashable garbage from a byzantine sender
-        if src in senders:
-            return
-        senders.add(src)
-        if not inst[_ACCEPTED] and len(senders) >= self.n - self.t:
+        if count and not inst[_ACCEPTED] and count >= self.n - self.t:
             inst[_ACCEPTED] = True
             self._on_wrb_accept(bid, value)
 
@@ -185,13 +285,11 @@ class BroadcastManager:
             return
         inst = self._instance(bid)
         try:
-            senders = inst[_TYPE3].setdefault(value, set())
+            count = self._tally(inst, _FIRST3, inst[_COUNTS3], src, value)
         except TypeError:
             return
-        if src in senders:
+        if not count:
             return
-        senders.add(src)
-        count = len(senders)
         if not inst[_SENT3] and count >= self.t + 1:
             inst[_SENT3] = True
             self.host.send_all(("b3", bid, value), _layer_for(bid))

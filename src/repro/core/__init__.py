@@ -3,12 +3,15 @@
 from repro.core.agreement import ABAProcess
 from repro.core.api import (
     AgreementResult,
+    BatchAgreementResult,
     CoinResult,
+    DEFAULT_INSTANCE,
     Stack,
     VSSResult,
     build_stack,
     flip_common_coin,
     run_byzantine_agreement,
+    run_byzantine_agreement_batch,
     run_mwsvss,
     run_svss,
 )
@@ -18,7 +21,9 @@ from repro.core.coin import (
     IdealCoin,
     IdealCoinOracle,
     LocalCoin,
+    SharedCoinGate,
 )
+from repro.sim.module import ProtocolModule
 from repro.core.dmm import DELAY, DISCARD, DMM, FORWARD
 from repro.core.manager import CallbackWatcher, VSSManager
 from repro.core.mwsvss import BOTTOM, MWSVSSInstance
@@ -29,10 +34,12 @@ __all__ = [
     "ABAProcess",
     "AgreementResult",
     "BOTTOM",
+    "BatchAgreementResult",
     "CallbackWatcher",
     "CoinResult",
     "CoinSource",
     "CommonCoinModule",
+    "DEFAULT_INSTANCE",
     "DELAY",
     "DISCARD",
     "DMM",
@@ -41,8 +48,10 @@ __all__ = [
     "IdealCoinOracle",
     "LocalCoin",
     "MWSVSSInstance",
+    "ProtocolModule",
     "SVSSInstance",
     "SessionClock",
+    "SharedCoinGate",
     "Stack",
     "VSSManager",
     "VSSResult",
@@ -51,6 +60,7 @@ __all__ = [
     "mw_session",
     "pair_sessions",
     "run_byzantine_agreement",
+    "run_byzantine_agreement_batch",
     "run_mwsvss",
     "run_svss",
     "svss_session",

@@ -35,6 +35,16 @@ designs) make the same move.  Safety rests on the phase-2/3 thresholds,
 which make the flaggable value unique system-wide and unforgeable by the
 ``t`` faulty processes.
 
+Vote validation is *incremental*: instead of re-running an O(n²) fixpoint
+over every received vote on each delivery (the seed's ``_revalidate``),
+the process maintains accepted-vote tallies per value and parks votes
+whose claims are not yet possible in pending lists; acceptance conditions
+are monotone in the tallies, so a parked vote is flushed exactly when the
+tally it waits on crosses its threshold (a phase-1 acceptance can flush
+phase-2 votes, which can flush phase-3 votes — the same cascade the
+fixpoint computed, in the same order).  Under ``TRACE_FULL`` a debug
+assertion cross-checks every delivery against the original fixpoint.
+
 Coin discipline: a process *joins* the round-``r`` coin on entering round
 ``r`` (so the interactive share stage overlaps the voting) and *releases*
 it when its round position is fixed (end of phase 3) whether or not it
@@ -43,6 +53,13 @@ which is what lets stragglers' reveals terminate.  Deciding processes keep
 participating for one more full round and then halt; by then every
 nonfaulty process has decided (the ``t + 1``-flag adoption rule), so no one
 is left waiting.
+
+Instancing: an :class:`ABAProcess` is an instance-scoped
+:class:`~repro.sim.module.ProtocolModule` — many live agreements share one
+host and one broadcast topic (``"aba"``), demuxed by the instance id every
+vote carries (``("aba", instance_id, r, phase, vote)``).  On halting it
+retires from its coin source, which lets a shared batch coin stop waiting
+for it.
 """
 
 from __future__ import annotations
@@ -52,13 +69,23 @@ from collections.abc import Callable
 from repro.broadcast.manager import BroadcastManager
 from repro.core.coin import CoinSource
 from repro.errors import ProtocolError
+from repro.sim.module import ProtocolModule
 from repro.sim.process import ProcessHost
 
 DecideCallback = Callable[[int], None]
 
+#: The broadcast topic every agreement instance shares.
+TOPIC = "aba"
+
 
 class _Round:
-    """Per-round vote bookkeeping."""
+    """Per-round vote bookkeeping.
+
+    ``accepted`` preserves acceptance order (snapshots take the first
+    ``n - t`` accepted votes); ``counts1``/``counts2`` tally accepted
+    phase-1/2 votes per value, and ``pending2``/``pending3`` park votes
+    whose validation thresholds have not been reached yet.
+    """
 
     __slots__ = (
         "received",
@@ -67,6 +94,10 @@ class _Round:
         "sent",
         "coin_value",
         "resolved",
+        "counts1",
+        "counts2",
+        "pending2",
+        "pending3",
     )
 
     def __init__(self) -> None:
@@ -77,28 +108,29 @@ class _Round:
         self.sent: dict[int, bool] = {1: False, 2: False, 3: False}
         self.coin_value: int | None = None
         self.resolved = False
+        self.counts1 = [0, 0]
+        self.counts2 = [0, 0]
+        self.pending2: tuple[list, list] = ([], [])  # per claimed value
+        self.pending3: list[tuple[int, object]] = []
 
 
-class ABAProcess:
-    """One process' agreement state machine."""
+class ABAProcess(ProtocolModule):
+    """One process' agreement state machine (one instance)."""
+
+    MODULE_KIND = "aba"
 
     def __init__(
         self,
         host: ProcessHost,
         broadcast: BroadcastManager,
         coin: CoinSource,
-        tag: str = "aba",
+        instance_id: object = "aba",
         on_decide: DecideCallback | None = None,
     ):
-        self.host = host
-        self.pid = host.pid
-        self.config = host.runtime.config
-        self.n = self.config.n
-        self.t = self.config.t
+        super().__init__()
         self.coin = coin
-        self.tag = tag
-        self.topic = f"aba:{tag}"
         self.on_decide = on_decide
+        self._broadcast = broadcast
         self.input: int | None = None
         self.est: int | None = None
         self.round = 0
@@ -108,9 +140,17 @@ class ABAProcess:
         self.decided: int | None = None
         self.decide_round: int | None = None
         self.halted = False
-        self._broadcast = broadcast
-        broadcast.subscribe(self.topic, self._on_rb)
-        host.attach(f"aba:{tag}", self)
+        self.attach(host, instance_id)
+
+    def _wire(self, host: ProcessHost) -> None:
+        self.pid = host.pid
+        self.config = host.runtime.config
+        self.n = self.config.n
+        self.t = self.config.t
+        #: TRACE_FULL runs cross-check the incremental validation against
+        #: the original O(n²) fixpoint on every delivery.
+        self._debug_fixpoint = host.runtime.trace.records_events
+        self.subscribe_slot(self._broadcast, TOPIC, self._on_rb)
 
     # ------------------------------------------------------------------
     # public API
@@ -141,12 +181,12 @@ class ABAProcess:
         return state
 
     def _coin_sid(self, r: int) -> tuple:
-        return ("cc", self.tag, r)
+        return ("cc", self.instance_id, r)
 
     def _enter_round(self, r: int) -> None:
         self.round = r
         # Round counters are wait-predicate-observable (max_rounds guards).
-        self.host.runtime.notify_state_change()
+        self.notify()
         self.host.runtime.trace.record_event("aba.round")
         self.coin.join(self._coin_sid(r))
         self._send_vote(r, 1, self.est)
@@ -161,16 +201,16 @@ class ABAProcess:
         deviate = self.host.deviation("aba_vote")
         if deviate is not None:
             vote = deviate(r, phase, vote)
-        bid = (self.pid, self.topic, r, phase)
-        self._broadcast.broadcast(bid, (self.topic, r, phase, vote))
+        bid = (self.pid, TOPIC, self.instance_id, r, phase)
+        self._broadcast.broadcast(bid, (TOPIC, self.instance_id, r, phase, vote))
 
     # ------------------------------------------------------------------
     # vote intake and validation
     # ------------------------------------------------------------------
     def _on_rb(self, origin: int, value: tuple) -> None:
-        if len(value) != 4:
+        if len(value) != 5:
             return
-        _, r, phase, vote = value
+        _, _, r, phase, vote = value
         if not isinstance(r, int) or r < 1 or phase not in (1, 2, 3):
             return
         state = self._round_state(r)
@@ -179,7 +219,17 @@ class ABAProcess:
         if not self._well_formed(phase, vote):
             return
         state.received[phase][origin] = vote
-        self._revalidate(r)
+        self._ingest_vote(state, phase, origin, vote)
+        if self._debug_fixpoint:
+            # Membership check only: the from-scratch oracle cannot replay
+            # chronological acceptance order (a parked vote accepted late
+            # sits early in its pool), so == compares per-phase dicts
+            # order-insensitively.  Acceptance *order* is guarded end to
+            # end by the flat-vs-legacy golden determinism tests.
+            assert state.accepted == self._fixpoint_accepted(state), (
+                "incremental vote validation diverged from the fixpoint "
+                f"(pid={self.pid}, instance={self.instance_id!r}, round={r})"
+            )
         self._maybe_advance()
 
     @staticmethod
@@ -193,44 +243,43 @@ class ABAProcess:
             and (vote[0] in (0, 1) if vote[1] else vote[0] is None)
         )
 
-    def _revalidate(self, r: int) -> None:
-        """Move received votes to accepted once their claims are possible.
+    def _ingest_vote(self, state: _Round, phase: int, origin: int, vote: object) -> None:
+        """Accept the vote if its claim is possible, else park it.
 
-        Acceptance can cascade (an accepted phase-1 vote can validate a
-        waiting phase-2 vote, etc.), so iterate to a fixpoint.
+        Acceptance conditions are monotone nondecreasing in the accepted
+        tallies, so parked votes are re-examined exactly when a tally they
+        depend on grows — matching the seed fixpoint's cascade (and its
+        acceptance order, which the phase snapshots depend on).
         """
-        state = self._round_state(r)
-        progressed = True
-        while progressed:
-            progressed = False
-            for phase in (1, 2, 3):
-                pool = state.received[phase]
-                accepted = state.accepted[phase]
-                for sender, vote in pool.items():
-                    if sender in accepted:
-                        continue
-                    if self._valid(state, phase, vote):
-                        accepted[sender] = vote
-                        progressed = True
-
-    def _valid(self, state: _Round, phase: int, vote: object) -> bool:
         if phase == 1:
-            return True  # see module docstring: any bit is acceptable
-        if phase == 2:
-            # The sender claims ``vote`` was the majority of *some* n-t
-            # phase-1 snapshot.  Ties break to 0, so a vote for 0 is
-            # justifiable with ceil((n-t)/2) zeros while a vote for 1
-            # needs a strict majority floor((n-t)/2)+1 of ones.
-            backing = sum(
-                1 for v in state.accepted[1].values() if v == vote
-            )
-            wait = self.n - self.t
-            needed = wait // 2 + 1 if vote == 1 else (wait + 1) // 2
-            return backing >= needed
+            state.accepted[1][origin] = vote
+            state.counts1[vote] += 1
+            self._flush_phase2(state, vote)
+        elif phase == 2:
+            if self._phase2_possible(state, vote):
+                state.accepted[2][origin] = vote
+                state.counts2[vote] += 1
+                self._flush_phase3(state)
+            else:
+                state.pending2[vote].append((origin, vote))
+        else:
+            if self._phase3_possible(state, vote):
+                state.accepted[3][origin] = vote
+            else:
+                state.pending3.append((origin, vote))
+
+    def _phase2_possible(self, state: _Round, vote: int) -> bool:
+        # The sender claims ``vote`` was the majority of *some* n-t phase-1
+        # snapshot.  Ties break to 0, so a vote for 0 is justifiable with
+        # ceil((n-t)/2) zeros while a vote for 1 needs a strict majority
+        # floor((n-t)/2)+1 of ones.
+        wait = self.n - self.t
+        needed = wait // 2 + 1 if vote == 1 else (wait + 1) // 2
+        return state.counts1[vote] >= needed
+
+    def _phase3_possible(self, state: _Round, vote: tuple) -> bool:
         w, flagged = vote
-        counts = [0, 0]
-        for v in state.accepted[2].values():
-            counts[v] += 1
+        counts = state.counts2
         if flagged:
             return counts[w] >= self.n // 2 + 1
         # Unflagged: some n-t sub-multiset of phase-2 votes with no strict
@@ -242,6 +291,73 @@ class ABAProcess:
             and counts[0] >= need - floor_half
             and counts[1] >= need - floor_half
         )
+
+    def _flush_phase2(self, state: _Round, value: int) -> None:
+        """A phase-1 tally grew: parked phase-2 votes for that value may
+        now be possible (all of them at once — the threshold is shared)."""
+        pending = state.pending2[value]
+        if not pending or not self._phase2_possible(state, value):
+            return
+        accepted = state.accepted[2]
+        for origin, vote in pending:
+            accepted[origin] = vote
+            state.counts2[value] += 1
+        pending.clear()
+        self._flush_phase3(state)
+
+    def _flush_phase3(self, state: _Round) -> None:
+        """A phase-2 tally grew: re-examine parked phase-3 votes in arrival
+        order (one pass suffices — phase-3 acceptance changes no tally)."""
+        if not state.pending3:
+            return
+        still: list[tuple[int, object]] = []
+        accepted = state.accepted[3]
+        for origin, vote in state.pending3:
+            if self._phase3_possible(state, vote):
+                accepted[origin] = vote
+            else:
+                still.append((origin, vote))
+        state.pending3 = still
+
+    def _fixpoint_accepted(self, state: _Round) -> dict[int, dict[int, object]]:
+        """The seed's O(n²) fixpoint, recomputed from scratch — the debug
+        oracle the incremental path is asserted against under TRACE_FULL."""
+        accepted: dict[int, dict[int, object]] = {1: {}, 2: {}, 3: {}}
+
+        def valid(phase: int, vote: object) -> bool:
+            if phase == 1:
+                return True  # see module docstring: any bit is acceptable
+            if phase == 2:
+                backing = sum(1 for v in accepted[1].values() if v == vote)
+                wait = self.n - self.t
+                needed = wait // 2 + 1 if vote == 1 else (wait + 1) // 2
+                return backing >= needed
+            w, flagged = vote
+            counts = [0, 0]
+            for v in accepted[2].values():
+                counts[v] += 1
+            if flagged:
+                return counts[w] >= self.n // 2 + 1
+            need = self.n - self.t
+            floor_half = self.n // 2
+            return (
+                counts[0] + counts[1] >= need
+                and counts[0] >= need - floor_half
+                and counts[1] >= need - floor_half
+            )
+
+        progressed = True
+        while progressed:
+            progressed = False
+            for phase in (1, 2, 3):
+                pool = state.received[phase]
+                for sender, vote in pool.items():
+                    if sender in accepted[phase]:
+                        continue
+                    if valid(phase, vote):
+                        accepted[phase][sender] = vote
+                        progressed = True
+        return accepted
 
     # ------------------------------------------------------------------
     # the process' own phase progression
@@ -320,6 +436,10 @@ class ABAProcess:
     def _finish_round(self, r: int) -> None:
         if self.decided is not None and r >= self.decide_round + 1:
             self.halted = True
+            # Let a shared batch coin stop waiting on this instance.
+            retire = getattr(self.coin, "retire", None)
+            if retire is not None:
+                retire(r)
             return
         self._enter_round(r + 1)
 
@@ -333,4 +453,4 @@ class ABAProcess:
             self.on_decide(value)
         # After on_decide so a wait predicate re-evaluated by this change
         # already sees the recorded decision.
-        self.host.runtime.notify_state_change()
+        self.notify()

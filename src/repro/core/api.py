@@ -17,6 +17,7 @@ rates to emulate the full stack at large ``n``).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from random import Random
 
@@ -30,21 +31,35 @@ from repro.core.coin import (
     IdealCoin,
     IdealCoinOracle,
     LocalCoin,
+    SharedCoinGate,
 )
 from repro.core.manager import CallbackWatcher, VSSManager
 from repro.core.mwsvss import BOTTOM
 from repro.core.sessions import mw_session, svss_session
 from repro.errors import ConfigurationError, DeadlockError, ProtocolError
+from repro.sim.process import MAX_INSTANCE_SLOTS
 from repro.sim.runtime import DEFAULT_MAX_EVENTS, ENGINE_FLAT, Runtime
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import TRACE_COUNTS, TRACE_FULL, Trace
 
 CoinSpec = object  # str | tuple | callable
 
+#: Instance id of the single agreement a plain ``run_byzantine_agreement``
+#: runs; batch runs use ``("aba", k)`` per instance.
+DEFAULT_INSTANCE = "aba"
+
 
 @dataclass
 class Stack:
-    """One assembled system: runtime plus per-process modules."""
+    """One assembled system: runtime plus per-process modules.
+
+    The protocol substrate (``broadcasts``, ``vss``, and the ``"svss"``
+    coin modules) is built once per process and shared by every agreement
+    instance; instance-scoped state lives in the ``agreements`` and
+    ``instance_coins`` maps, keyed by instance id.  ``coins`` and ``aba``
+    remain the primary instance's pid-keyed views (the single-agreement
+    API).
+    """
 
     config: SystemConfig
     runtime: Runtime
@@ -53,6 +68,12 @@ class Stack:
     coins: dict[int, CoinSource] = field(default_factory=dict)
     aba: dict[int, ABAProcess] = field(default_factory=dict)
     adversary: Adversary = field(default_factory=no_adversary)
+    #: Declared agreement instances (``build_stack(instances=...)``).
+    instance_ids: tuple = (DEFAULT_INSTANCE,)
+    #: instance id -> pid -> ABAProcess, for every started instance.
+    agreements: dict[object, dict[int, ABAProcess]] = field(default_factory=dict)
+    #: instance id -> pid -> CoinSource backing that instance.
+    instance_coins: dict[object, dict[int, CoinSource]] = field(default_factory=dict)
 
     @property
     def trace(self) -> Trace:
@@ -60,6 +81,48 @@ class Stack:
 
     def nonfaulty(self) -> list[int]:
         return self.adversary.nonfaulty_pids(self.config)
+
+    def agreement(self, instance_id: object) -> dict[int, ABAProcess]:
+        """The pid-keyed process map of one agreement instance."""
+        try:
+            return self.agreements[instance_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no agreement instance {instance_id!r}; "
+                f"known: {sorted(map(repr, self.agreements))}"
+            ) from None
+
+
+def _normalize_instances(instances: int | Sequence[object]) -> tuple:
+    if isinstance(instances, int):
+        if instances < 1:
+            raise ConfigurationError(
+                f"need at least one instance, got instances={instances}"
+            )
+        ids: tuple = (
+            (DEFAULT_INSTANCE,)
+            if instances == 1
+            else tuple((DEFAULT_INSTANCE, k) for k in range(instances))
+        )
+    else:
+        ids = tuple(instances)
+        if not ids:
+            raise ConfigurationError("instance id list must not be empty")
+        try:
+            unique = len(set(ids))
+        except TypeError:
+            raise ConfigurationError(
+                f"instance ids must be hashable (they key dispatch slots), "
+                f"got {ids!r}"
+            ) from None
+        if unique != len(ids):
+            raise ConfigurationError(f"duplicate instance ids in {ids!r}")
+    if len(ids) > MAX_INSTANCE_SLOTS:
+        raise ConfigurationError(
+            f"{len(ids)} instances exceed the slot-table bound "
+            f"{MAX_INSTANCE_SLOTS}"
+        )
+    return ids
 
 
 def build_stack(
@@ -70,6 +133,7 @@ def build_stack(
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
+    instances: int | Sequence[object] = 1,
 ) -> Stack:
     """Assemble runtime, broadcast and (optionally) VSS for every process.
 
@@ -81,12 +145,19 @@ def build_stack(
     routing table + calendar queue + batched fan-outs) or ``"legacy"``
     (the seed's per-event heap + ``deliver`` chain, kept for determinism
     regressions and as the benchmark baseline).
+
+    ``instances`` declares how many concurrent agreement instances the
+    stack will host — a count or an explicit sequence of instance ids.
+    The broadcast/VSS substrate is shared either way; the declaration
+    sizes the per-instance maps and is what
+    :func:`run_byzantine_agreement_batch` builds on.
     """
     if measure_bytes and trace_level < TRACE_COUNTS:
         raise ConfigurationError(
             "measure_bytes=True needs trace_level >= TRACE_COUNTS; "
             "a disabled trace would silently record zero bytes"
         )
+    instance_ids = _normalize_instances(instances)
     runtime = Runtime(
         config, scheduler=scheduler, trace_level=trace_level, engine=engine
     )
@@ -104,12 +175,24 @@ def build_stack(
         broadcasts=broadcasts,
         vss=vss,
         adversary=adversary or no_adversary(),
+        instance_ids=instance_ids,
     )
     stack.adversary.install(runtime)
     return stack
 
 
-def _make_coins(stack: Stack, coin: CoinSpec) -> dict[int, CoinSource]:
+def _make_coins(
+    stack: Stack, coin: CoinSpec, instance: object = DEFAULT_INSTANCE
+) -> dict[int, CoinSource]:
+    """Build (or reuse) the pid-keyed coin sources backing one instance.
+
+    The ``"svss"`` coin is substrate: one :class:`CommonCoinModule` per
+    process serves every instance (sessions are keyed by coin session id,
+    which embeds the instance).  Seeded stand-ins (``"local"``, ideal)
+    are built per instance, with the instance id folded into the stream
+    derivation for non-default instances — the default instance keeps the
+    historical derivation so existing seeds reproduce bit-for-bit.
+    """
     config = stack.config
     coins: dict[int, CoinSource] = {}
     if coin == "svss":
@@ -118,12 +201,27 @@ def _make_coins(stack: Stack, coin: CoinSpec) -> dict[int, CoinSource]:
         config.require_optimal_resilience()
         for pid in config.pids:
             host = stack.runtime.host(pid)
-            coins[pid] = CommonCoinModule(host, stack.vss[pid], stack.broadcasts[pid])
+            if host.has_module("coin"):
+                coins[pid] = host.module("coin")
+            else:
+                coins[pid] = CommonCoinModule(
+                    host, stack.vss[pid], stack.broadcasts[pid]
+                )
     elif coin == "local":
         for pid in config.pids:
-            coins[pid] = LocalCoin(config.derive_rng("local-coin", pid))
+            tags = (
+                ("local-coin", pid)
+                if instance == DEFAULT_INSTANCE
+                else ("local-coin", instance, pid)
+            )
+            coins[pid] = LocalCoin(config.derive_rng(*tags))
     elif isinstance(coin, tuple) and len(coin) == 2 and coin[0] == "ideal":
-        oracle = IdealCoinOracle(config.derive_rng("ideal-coin"), agreement=coin[1])
+        tags = (
+            ("ideal-coin",)
+            if instance == DEFAULT_INSTANCE
+            else ("ideal-coin", instance)
+        )
+        oracle = IdealCoinOracle(config.derive_rng(*tags), agreement=coin[1])
         for pid in config.pids:
             coins[pid] = IdealCoin(oracle, pid)
     elif callable(coin):
@@ -131,7 +229,9 @@ def _make_coins(stack: Stack, coin: CoinSpec) -> dict[int, CoinSource]:
             coins[pid] = coin(stack, pid)
     else:
         raise ConfigurationError(f"unknown coin spec {coin!r}")
-    stack.coins = coins
+    stack.instance_coins[instance] = coins
+    if instance == DEFAULT_INSTANCE or not stack.coins:
+        stack.coins = coins
     return coins
 
 
@@ -182,6 +282,16 @@ class AgreementResult:
         return self.trace.shun_pairs()
 
 
+def _normalize_inputs(
+    inputs: list[int] | dict[int, int], config: SystemConfig
+) -> dict[int, int]:
+    if isinstance(inputs, dict):
+        return dict(inputs)
+    if len(inputs) != config.n:
+        raise ConfigurationError(f"need {config.n} inputs, got {len(inputs)}")
+    return {pid: inputs[pid - 1] for pid in config.pids}
+
+
 def run_byzantine_agreement(
     inputs: list[int] | dict[int, int],
     config: SystemConfig,
@@ -211,16 +321,10 @@ def run_byzantine_agreement(
         measure_bytes=measure_bytes,
         trace_level=trace_level,
         engine=engine,
+        instances=(tag,),
     )
-    coins = _make_coins(stack, coin)
-    if isinstance(inputs, dict):
-        input_map = dict(inputs)
-    else:
-        if len(inputs) != config.n:
-            raise ConfigurationError(
-                f"need {config.n} inputs, got {len(inputs)}"
-            )
-        input_map = {pid: inputs[pid - 1] for pid in config.pids}
+    coins = _make_coins(stack, coin, instance=tag)
+    input_map = _normalize_inputs(inputs, config)
 
     decisions: dict[int, int] = {}
     processes: dict[int, ABAProcess] = {}
@@ -229,10 +333,11 @@ def run_byzantine_agreement(
             stack.runtime.host(pid),
             stack.broadcasts[pid],
             coins[pid],
-            tag=tag,
+            instance_id=tag,
             on_decide=lambda v, pid=pid: decisions.setdefault(pid, v),
         )
     stack.aba = processes
+    stack.agreements[tag] = processes
     nonfaulty = stack.nonfaulty()
     for pid in config.pids:
         processes[pid].start(input_map[pid])
@@ -258,6 +363,204 @@ def run_byzantine_agreement(
         sim_time=stack.runtime.now,
         trace=stack.trace,
         terminated=terminated,
+        adversary_description=stack.adversary.describe(),
+        events_dispatched=stack.runtime.events_dispatched,
+        messages_pushed=stack.runtime.queue.pushed_total,
+        predicate_evals=stack.runtime.predicate_evals,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched Byzantine agreement: K concurrent instances on one runtime
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchAgreementResult:
+    """Outcome of ``K`` concurrent agreement instances on one runtime.
+
+    Per-instance outcomes live in ``results`` (ordinary
+    :class:`AgreementResult` objects sharing the batch's trace and clock;
+    their run counters are zero — the aggregate counters live here, since
+    one event loop served every instance).
+    """
+
+    config: SystemConfig
+    instance_ids: tuple
+    results: dict[object, AgreementResult]
+    sim_time: float
+    trace: Trace
+    terminated: bool
+    shared_coin: bool
+    adversary_description: str = "none"
+    events_dispatched: int = 0
+    messages_pushed: int = 0
+    predicate_evals: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instance_ids)
+
+    def result(self, instance_id: object) -> AgreementResult:
+        return self.results[instance_id]
+
+    @property
+    def agreed(self) -> bool:
+        """Every instance terminated with all nonfaulty processes agreeing."""
+        return all(r.agreed for r in self.results.values())
+
+    @property
+    def decisions(self) -> dict[object, int | None]:
+        """instance id -> unanimous nonfaulty decision (None if not agreed)."""
+        return {iid: r.decision for iid, r in self.results.items()}
+
+    @property
+    def max_rounds(self) -> int:
+        return max((r.max_rounds for r in self.results.values()), default=0)
+
+    @property
+    def decided_instances(self) -> int:
+        return sum(1 for r in self.results.values() if r.agreed)
+
+
+def run_byzantine_agreement_batch(
+    inputs_matrix: Sequence[list[int] | dict[int, int]],
+    config: SystemConfig,
+    coin: CoinSpec = "svss",
+    adversary: Adversary | None = None,
+    scheduler: Scheduler | None = None,
+    max_rounds: int = 200,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    share_coin: bool = True,
+    measure_bytes: bool = False,
+    trace_level: int = TRACE_FULL,
+    engine: str = ENGINE_FLAT,
+) -> BatchAgreementResult:
+    """Run ``K = len(inputs_matrix)`` concurrent agreements on one runtime.
+
+    Every instance gets independent inputs (one row of ``inputs_matrix``)
+    but shares the broadcast/VSS substrate, the event loop, and — with
+    ``share_coin=True`` — one common-coin invocation per round across the
+    whole batch (the Wang-style amortization: with the paper's SVSS coin,
+    whose single invocation costs ``Θ(n²)`` sharings, the coin bill of a
+    ``K``-batch is paid once instead of ``K`` times).  The shared round
+    coin is revealed only after every live local instance fixed its
+    round position (see :class:`~repro.core.coin.SharedCoinGate`).
+
+    Determinism: under a fixed-delay scheduler, a failure-free batch is an
+    order-preserving interleaving of its instances' solo event streams, and
+    the shared coin sessions carry the same ids a default-tag solo run
+    uses — so instance ``k`` decides exactly what
+    ``run_byzantine_agreement(inputs_matrix[k], config, ...)`` decides
+    (the multi-instance A/B test asserts this per seed, flat and legacy).
+
+    With ``share_coin=False`` every instance gets its own coin sessions
+    (ids derived from its instance id), restoring the strict per-instance
+    release discipline at ``K`` times the coin cost.
+    """
+    rows = list(inputs_matrix)
+    if not rows:
+        raise ConfigurationError("inputs_matrix must contain at least one row")
+    instance_ids = tuple((DEFAULT_INSTANCE, k) for k in range(len(rows)))
+    needs_vss = coin == "svss"
+    stack = build_stack(
+        config,
+        scheduler=scheduler,
+        adversary=adversary,
+        with_vss=needs_vss,
+        measure_bytes=measure_bytes,
+        trace_level=trace_level,
+        engine=engine,
+        instances=instance_ids,
+    )
+    input_maps = {
+        iid: _normalize_inputs(rows[k], config)
+        for k, iid in enumerate(instance_ids)
+    }
+
+    if share_coin:
+        # One underlying coin per process, sessions keyed like a default-tag
+        # solo run; one gate per process shared by its K instance frontends.
+        base = _make_coins(stack, coin, instance=DEFAULT_INSTANCE)
+        gates = {
+            pid: SharedCoinGate(
+                base[pid], len(instance_ids), shared_tag=DEFAULT_INSTANCE
+            )
+            for pid in config.pids
+        }
+        # Every instance consults its gate, never the raw coin — keep the
+        # Stack views consistent with that (the default-instance key was
+        # only a registration side effect of building the substrate).
+        stack.instance_coins.pop(DEFAULT_INSTANCE, None)
+        for iid in instance_ids:
+            stack.instance_coins[iid] = gates
+        stack.coins = gates
+
+        def coin_for(iid: object, pid: int) -> CoinSource:
+            return gates[pid]
+
+    else:
+        per_instance = {
+            iid: _make_coins(stack, coin, instance=iid) for iid in instance_ids
+        }
+
+        def coin_for(iid: object, pid: int) -> CoinSource:
+            return per_instance[iid][pid]
+
+    decisions: dict[object, dict[int, int]] = {iid: {} for iid in instance_ids}
+    for iid in instance_ids:
+        processes: dict[int, ABAProcess] = {}
+        for pid in config.pids:
+            processes[pid] = ABAProcess(
+                stack.runtime.host(pid),
+                stack.broadcasts[pid],
+                coin_for(iid, pid),
+                instance_id=iid,
+                on_decide=lambda v, iid=iid, pid=pid: decisions[iid].setdefault(
+                    pid, v
+                ),
+            )
+        stack.agreements[iid] = processes
+    stack.aba = stack.agreements[instance_ids[0]]
+    nonfaulty = stack.nonfaulty()
+    for iid in instance_ids:
+        for pid in config.pids:
+            stack.agreements[iid][pid].start(input_maps[iid][pid])
+
+    def instance_done(iid: object) -> bool:
+        if all(pid in decisions[iid] for pid in nonfaulty):
+            return True
+        processes = stack.agreements[iid]
+        return any(processes[pid].round > max_rounds for pid in nonfaulty)
+
+    def finished() -> bool:
+        return all(instance_done(iid) for iid in instance_ids)
+
+    try:
+        stack.runtime.run_until(finished, max_events=max_events, on_change=True)
+    except DeadlockError:
+        pass
+    results: dict[object, AgreementResult] = {}
+    for iid in instance_ids:
+        processes = stack.agreements[iid]
+        terminated = all(pid in decisions[iid] for pid in nonfaulty)
+        results[iid] = AgreementResult(
+            config=config,
+            decisions=decisions[iid],
+            rounds={pid: processes[pid].rounds_used for pid in nonfaulty},
+            nonfaulty=nonfaulty,
+            sim_time=stack.runtime.now,
+            trace=stack.trace,
+            terminated=terminated,
+            adversary_description=stack.adversary.describe(),
+        )
+    return BatchAgreementResult(
+        config=config,
+        instance_ids=instance_ids,
+        results=results,
+        sim_time=stack.runtime.now,
+        trace=stack.trace,
+        terminated=all(r.terminated for r in results.values()),
+        shared_coin=share_coin,
         adversary_description=stack.adversary.describe(),
         events_dispatched=stack.runtime.events_dispatched,
         messages_pushed=stack.runtime.queue.pushed_total,
@@ -474,12 +777,15 @@ def flip_common_coin(
 __all__ = [
     "AgreementResult",
     "BOTTOM",
+    "BatchAgreementResult",
     "CoinResult",
+    "DEFAULT_INSTANCE",
     "Stack",
     "VSSResult",
     "build_stack",
     "flip_common_coin",
     "run_byzantine_agreement",
+    "run_byzantine_agreement_batch",
     "run_mwsvss",
     "run_svss",
 ]

@@ -48,6 +48,7 @@ from repro.broadcast.manager import BroadcastManager
 from repro.core.manager import VSSManager
 from repro.core.sessions import svss_session
 from repro.errors import ProtocolError
+from repro.sim.module import ProtocolModule
 from repro.sim.process import ProcessHost
 
 #: sentinel for "component reconstructed to ⊥, value cannot be zero"
@@ -69,6 +70,11 @@ class CoinSource:
 
     def release(self, csid: tuple) -> None:  # pragma: no cover - interface
         pass
+
+    def retire(self, height: int | None = None) -> None:  # pragma: no cover
+        """The caller will join no further sessions (it halted after round
+        ``height``).  Shared coin front-ends use this to stop waiting on
+        finished instances; plain coins ignore it."""
 
     def get(self, csid: tuple, callback: CoinCallback) -> None:
         raise NotImplementedError
@@ -209,20 +215,24 @@ class _SlotWatcher:
         pass
 
 
-class CommonCoinModule(CoinSource):
+class CommonCoinModule(ProtocolModule, CoinSource):
     """The shunning common coin of one process."""
 
+    MODULE_KIND = "coin"
+
     def __init__(self, host: ProcessHost, vss: VSSManager, broadcast: BroadcastManager):
-        self.host = host
+        super().__init__()
         self.vss = vss
+        self._broadcast = broadcast
+        self.sessions: dict[tuple, _CoinSession] = {}
+        self.attach(host)
+
+    def _wire(self, host: ProcessHost) -> None:
         self.pid = host.pid
         self.config = host.runtime.config
         self.n = self.config.n
         self.t = self.config.t
-        self.sessions: dict[tuple, _CoinSession] = {}
-        host.attach("coin", self)
-        broadcast.subscribe("coin", self._on_rb)
-        self._broadcast = broadcast
+        self.subscribe(self._broadcast, "coin", self._on_rb)
 
     # ------------------------------------------------------------------
     # CoinSource interface
@@ -416,3 +426,98 @@ class CommonCoinModule(CoinSource):
 
     def describe(self) -> str:
         return "SVSSCommonCoin"
+
+
+class _GateRound:
+    """Release bookkeeping for one shared coin round at one process."""
+
+    __slots__ = ("joined", "released", "under_released")
+
+    def __init__(self) -> None:
+        self.joined = 0
+        self.released = 0
+        self.under_released = False
+
+
+class SharedCoinGate(CoinSource):
+    """Share one underlying coin invocation per round across a batch.
+
+    This is the batching lever of Wang-style amortized BA: ``K`` concurrent
+    agreement instances at the same process consult *one* coin session per
+    round (``("cc", shared_tag, r)``) instead of ``K`` — with the paper's
+    SVSS coin, whose single invocation costs ``Θ(n²)`` sharings, that
+    amortizes essentially the whole coin bill across the batch.
+
+    The gate preserves the release discipline *collectively*: the
+    underlying :meth:`CoinSource.release` fires only once every instance of
+    this process has either released round ``r`` or retired (halted) below
+    it — the coin for round ``r`` is not revealed while any local
+    instance's round-``r`` position is still steerable.  An instance that
+    joins a round *after* the collective release (a straggler whose peers
+    all finished the round first) sees the coin like any late joiner of a
+    released session; this is the documented weakening shared rounds buy
+    their amortization with.
+
+    Liveness is preserved: every nonfaulty agreement instance releases
+    every round it joins before halting (release precedes both the coin
+    wait and the halt check), so the gate's collective condition is always
+    eventually met.
+    """
+
+    def __init__(self, source: CoinSource, instances: int, shared_tag: object = "aba"):
+        if instances < 1:
+            raise ProtocolError(f"need at least one instance, got {instances}")
+        self._source = source
+        self._instances = instances
+        self._shared_tag = shared_tag
+        self._rounds: dict[object, _GateRound] = {}
+        #: Highest joined round of each retired instance (an instance only
+        #: counts as a permanent non-joiner for rounds *above* its height).
+        self._retired_heights: list[int] = []
+
+    def _shared(self, csid: tuple) -> tuple:
+        return ("cc", self._shared_tag, csid[2])
+
+    def _round(self, r: object) -> _GateRound:
+        state = self._rounds.get(r)
+        if state is None:
+            state = self._rounds[r] = _GateRound()
+        return state
+    # ``r`` comes from the instance's csid (``("cc", instance_id, r)``);
+    # agreement rounds are ints, so gate rounds order totally.
+
+    def join(self, csid: tuple) -> None:
+        r = csid[2]
+        state = self._round(r)
+        state.joined += 1
+        self._source.join(self._shared(csid))
+
+    def release(self, csid: tuple) -> None:
+        r = csid[2]
+        state = self._round(r)
+        state.released += 1
+        self._maybe_release(r, state)
+
+    def retire(self, height: int | None = None) -> None:
+        """One instance halted after releasing every round it joined.
+
+        ``height`` is its highest joined round (0 if it never joined); the
+        instance counts as a permanent non-joiner only for rounds above it.
+        """
+        self._retired_heights.append(0 if height is None else height)
+        for r, state in list(self._rounds.items()):
+            self._maybe_release(r, state)
+
+    def get(self, csid: tuple, callback: CoinCallback) -> None:
+        self._source.get(self._shared(csid), callback)
+
+    def _maybe_release(self, r: object, state: _GateRound) -> None:
+        if state.under_released or state.released < state.joined:
+            return
+        absent = sum(1 for h in self._retired_heights if h < r)
+        if state.released + absent >= self._instances:
+            state.under_released = True
+            self._source.release(("cc", self._shared_tag, r))
+
+    def describe(self) -> str:
+        return f"shared[{self._instances}]({self._source.describe()})"

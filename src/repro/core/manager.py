@@ -23,6 +23,7 @@ from repro.core.mwsvss import MWSVSSInstance
 from repro.core.sessions import SessionClock, is_mw, is_svss
 from repro.core.svss import SVSSInstance
 from repro.errors import ProtocolError
+from repro.sim.module import ProtocolModule
 from repro.sim.process import ProcessHost
 
 #: Message kinds carrying protocol *values* — the only ones the DMM
@@ -75,11 +76,21 @@ class CallbackWatcher:
             self._svss_output(sid, value)
 
 
-class VSSManager:
+class VSSManager(ProtocolModule):
     """All VSS state of one process."""
 
+    MODULE_KIND = "vss"
+
     def __init__(self, host: ProcessHost, broadcast: BroadcastManager):
-        self.host = host
+        super().__init__()
+        self._broadcast = broadcast
+        self.mw: dict[tuple, MWSVSSInstance] = {}
+        self.svss: dict[tuple, SVSSInstance] = {}
+        self._watchers: dict[object, object] = {}
+        self._delayed: deque[tuple[int, tuple, str, object]] = deque()
+        self.attach(host)
+
+    def _wire(self, host: ProcessHost) -> None:
         self._runtime = host.runtime
         self.config = host.runtime.config
         self.pid = host.pid
@@ -88,14 +99,8 @@ class VSSManager:
         self.field = self.config.field
         self.clock = SessionClock()
         self.dmm = DMM(self.pid, self.clock, on_shun=self._record_shun)
-        self.mw: dict[tuple, MWSVSSInstance] = {}
-        self.svss: dict[tuple, SVSSInstance] = {}
-        self._watchers: dict[object, object] = {}
-        self._delayed: deque[tuple[int, tuple, str, object]] = deque()
-        host.attach("vss", self)
-        host.register_handler("v", self._on_private)
-        broadcast.subscribe("vss", self._on_rb)
-        self._broadcast = broadcast
+        self.register("v", self._on_private)
+        self.subscribe(self._broadcast, "vss", self._on_rb)
 
     # ------------------------------------------------------------------
     # public API

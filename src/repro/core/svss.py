@@ -60,6 +60,9 @@ class SVSSInstance:
 
         # dealer-only state
         self._bivar: BivariatePolynomial | None = None
+        #: recipient -> (row evals, column evals); built lazily and reused
+        #: so repeated row requests never re-walk the share matrix.
+        self._row_cache: dict[int, tuple[tuple, tuple]] = {}
         self._pair_done: dict[frozenset[int], set[tuple]] = {}
         self.G_map: dict[int, set[int]] = {}
         self.G: set[int] = set()
@@ -91,21 +94,34 @@ class SVSSInstance:
         self._bivar = BivariatePolynomial.random(self.field, self.t, rng, secret=secret)
         host = self.manager.host
         corrupt = host.deviation("corrupt_svss_rows")
-        xs = list(range(1, self.t + 2))
         for j in range(1, self.n + 1):
-            g_j = self._bivar.row(j)
-            h_j = self._bivar.column(j)
-            row_vals = g_j.evaluate_many(xs)
-            col_vals = h_j.evaluate_many(xs)
+            row_vals, col_vals = self._share_rows(j)
             if corrupt is not None:
                 row_vals, col_vals = corrupt(
-                    self.sid, j, row_vals, col_vals, self.field.prime
+                    self.sid, j, list(row_vals), list(col_vals), self.field.prime
                 )
             host.send(
                 j,
                 ("v", self.sid, "rows", (tuple(row_vals), tuple(col_vals))),
                 "vss",
             )
+
+    def _share_rows(self, j: int) -> tuple[tuple, tuple]:
+        """Honest row/column evaluation points for recipient ``j``.
+
+        Memoized per recipient: building a row costs ``t + 1`` polynomial
+        evaluations over the share matrix, so any repeat request (a resend,
+        the dealer consuming its own rows) reuses the cached tuples instead
+        of re-walking the matrix.
+        """
+        cached = self._row_cache.get(j)
+        if cached is None:
+            xs = range(1, self.t + 2)
+            g_j = self._bivar.row(j)
+            h_j = self._bivar.column(j)
+            cached = (tuple(g_j.evaluate_many(xs)), tuple(h_j.evaluate_many(xs)))
+            self._row_cache[j] = cached
+        return cached
 
     def begin_reconstruct(self) -> None:
         """Protocol R step 1: reconstruct all pair invocations in Ĝ."""

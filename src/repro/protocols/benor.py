@@ -25,12 +25,16 @@ from dataclasses import dataclass
 from repro.adversary.controller import Adversary, no_adversary
 from repro.config import SystemConfig
 from repro.errors import ConfigurationError, DeadlockError, ProtocolError
+from repro.sim.module import ProtocolModule
 from repro.sim.process import ProcessHost
 from repro.sim.runtime import DEFAULT_MAX_EVENTS, Runtime
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Trace
 
 LAYER = "benor"
+
+#: The host tag every Ben-Or instance shares (instance-demuxed).
+TAG = "benor"
 
 
 class _Round:
@@ -42,25 +46,24 @@ class _Round:
         self.sent: dict[int, bool] = {1: False, 2: False}
 
 
-class BenOrProcess:
-    """One process running Ben-Or's protocol."""
+class BenOrProcess(ProtocolModule):
+    """One process running one Ben-Or instance.
+
+    Instance-scoped module: concurrent instances share the ``"benor"``
+    host tag, demuxed by the instance id every message carries
+    (``("benor", instance_id, r, phase, vote)``).
+    """
+
+    MODULE_KIND = "benor"
 
     def __init__(
         self,
         host: ProcessHost,
-        tag: str = "benor",
+        instance_id: object = "benor",
         on_decide: Callable[[int], None] | None = None,
     ):
-        self.host = host
-        self.pid = host.pid
-        config = host.runtime.config
-        config.require_resilience(5)
-        self.n = config.n
-        self.t = config.t
-        self.tag = tag
-        self.topic = f"benor:{tag}"
+        super().__init__()
         self.on_decide = on_decide
-        self._rng = config.derive_rng("benor-coin", tag, host.pid)
         self.est: int | None = None
         self.round = 0
         self.rounds: dict[int, _Round] = {}
@@ -68,8 +71,16 @@ class BenOrProcess:
         self.decided: int | None = None
         self.decide_round: int | None = None
         self.halted = False
-        host.register_handler(self.topic, self._on_message)
-        host.attach(self.topic, self)
+        self.attach(host, instance_id)
+
+    def _wire(self, host: ProcessHost) -> None:
+        self.pid = host.pid
+        config = host.runtime.config
+        config.require_resilience(5)
+        self.n = config.n
+        self.t = config.t
+        self._rng = config.derive_rng("benor-coin", self.instance_id, host.pid)
+        self.register_slot(TAG, self._on_message)
 
     # ------------------------------------------------------------------
     def start(self, input_value: int) -> None:
@@ -107,12 +118,12 @@ class BenOrProcess:
         deviate = self.host.deviation("aba_vote")
         if deviate is not None:
             vote = deviate(r, phase, vote)
-        self.host.send_all((self.topic, r, phase, vote), LAYER)
+        self.host.send_all((TAG, self.instance_id, r, phase, vote), LAYER)
 
     def _on_message(self, src: int, payload: tuple) -> None:
-        if len(payload) != 4:
+        if len(payload) != 5:
             return
-        _, r, phase, vote = payload
+        _, _, r, phase, vote = payload
         if not isinstance(r, int) or r < 1 or phase not in (1, 2):
             return
         if phase == 1 and vote not in (0, 1):

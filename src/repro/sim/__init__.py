@@ -1,7 +1,8 @@
 """Simulation substrate: deterministic asynchronous message-passing network."""
 
 from repro.sim.events import BucketQueue, Event, EventQueue
-from repro.sim.process import ProcessHost
+from repro.sim.module import ProtocolModule
+from repro.sim.process import MAX_INSTANCE_SLOTS, InstanceSlots, ProcessHost
 from repro.sim.runtime import (
     DEFAULT_MAX_EVENTS,
     ENGINE_FLAT,
@@ -37,8 +38,11 @@ __all__ = [
     "EventQueue",
     "ExponentialDelayScheduler",
     "FifoScheduler",
+    "InstanceSlots",
     "IntermittentPartitionScheduler",
+    "MAX_INSTANCE_SLOTS",
     "ProcessHost",
+    "ProtocolModule",
     "Runtime",
     "Scheduler",
     "ShunRecord",

@@ -52,7 +52,7 @@ from repro.adversary.controller import (
 from repro.analysis.stats import Summary, proportion_ci95, summarize
 from repro.analysis.tables import render_table
 from repro.config import SystemConfig
-from repro.core.api import run_byzantine_agreement
+from repro.core.api import run_byzantine_agreement, run_byzantine_agreement_batch
 from repro.errors import ConfigurationError
 from repro.sim.runtime import DEFAULT_MAX_EVENTS, ENGINE_FLAT, ENGINES
 from repro.sim.scheduler import (
@@ -107,7 +107,15 @@ INPUT_PATTERNS: dict[str, Callable[[SystemConfig], list[int]]] = {
 
 @dataclass(frozen=True)
 class Scenario:
-    """One seeded agreement run, described entirely by plain data."""
+    """One seeded agreement run, described entirely by plain data.
+
+    ``batch > 1`` turns the scenario into a *batched* run:
+    :func:`~repro.core.api.run_byzantine_agreement_batch` drives ``batch``
+    concurrent instances (inputs per instance derived from the input
+    pattern — rotated per instance, or independently seeded for
+    ``"random"``) on one runtime with a shared round coin, and the record
+    aggregates across instances.
+    """
 
     n: int
     seed: int
@@ -119,8 +127,14 @@ class Scenario:
     max_events: int = DEFAULT_MAX_EVENTS
     engine: str = ENGINE_FLAT
     trace_level: int = TRACE_COUNTS
+    batch: int = 1
+    share_coin: bool = True
 
     def validate(self) -> None:
+        if self.batch < 1:
+            raise ConfigurationError(
+                f"batch must be >= 1, got {self.batch}"
+            )
         if self.scheduler not in SCHEDULERS:
             raise ConfigurationError(
                 f"unknown scheduler {self.scheduler!r}; "
@@ -144,7 +158,14 @@ class Scenario:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Measured outcome of one scenario."""
+    """Measured outcome of one scenario.
+
+    For batched scenarios the outcome aggregates across instances:
+    ``agreed``/``terminated`` require every instance to succeed,
+    ``decision`` is the value only if all instances decided it, ``rounds``
+    is the maximum, and ``decided_instances``/``decisions_per_wall_second``
+    carry the batch throughput.
+    """
 
     scenario: Scenario
     agreed: bool
@@ -158,6 +179,14 @@ class RunRecord:
     predicate_evals: int
     shun_pairs: int
     wall_seconds: float
+    decided_instances: int = 1
+
+    @property
+    def decisions_per_wall_second(self) -> float:
+        """Aggregate decision throughput of the run (the batching metric)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.decided_instances / self.wall_seconds
 
 
 def scenario_matrix(
@@ -186,11 +215,60 @@ def scenario_matrix(
     return matrix
 
 
+def batch_inputs(scenario: Scenario, config: SystemConfig) -> list[list[int]]:
+    """Independent per-instance inputs derived from the scenario pattern.
+
+    Deterministic patterns are rotated one position per instance (so a
+    ``"split"`` batch exercises every phase alignment); ``"random"`` draws
+    a fresh seeded stream per instance.
+    """
+    rows = []
+    for k in range(scenario.batch):
+        if scenario.inputs == "random":
+            rng = config.derive_rng("experiment-inputs", k)
+            rows.append([rng.randrange(2) for _ in range(config.n)])
+        else:
+            base = INPUT_PATTERNS[scenario.inputs](config)
+            shift = k % config.n
+            rows.append(base[shift:] + base[:shift])
+    return rows
+
+
 def run_scenario(scenario: Scenario) -> RunRecord:
     """Execute one scenario; the unit of work a pool worker runs."""
     scenario.validate()
     config = SystemConfig(n=scenario.n, seed=scenario.seed)
     start = time.perf_counter()
+    if scenario.batch > 1:
+        batch = run_byzantine_agreement_batch(
+            batch_inputs(scenario, config),
+            config,
+            coin=scenario.coin,
+            scheduler=SCHEDULERS[scenario.scheduler](config),
+            adversary=ADVERSARIES[scenario.adversary](config),
+            max_rounds=scenario.max_rounds,
+            max_events=scenario.max_events,
+            share_coin=scenario.share_coin,
+            trace_level=scenario.trace_level,
+            engine=scenario.engine,
+        )
+        wall = time.perf_counter() - start
+        decisions = set(batch.decisions.values())
+        return RunRecord(
+            scenario=scenario,
+            agreed=batch.agreed,
+            terminated=batch.terminated,
+            decision=next(iter(decisions)) if len(decisions) == 1 else None,
+            rounds=batch.max_rounds,
+            sim_time=batch.sim_time,
+            events_dispatched=batch.events_dispatched,
+            messages_pushed=batch.messages_pushed,
+            total_messages=batch.trace.total_messages,
+            predicate_evals=batch.predicate_evals,
+            shun_pairs=len(batch.trace.shun_pairs()),
+            wall_seconds=wall,
+            decided_instances=batch.decided_instances,
+        )
     result = run_byzantine_agreement(
         INPUT_PATTERNS[scenario.inputs](config),
         config,
@@ -216,6 +294,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
         predicate_evals=result.predicate_evals,
         shun_pairs=len(result.trace.shun_pairs()),
         wall_seconds=wall,
+        decided_instances=1 if result.agreed else 0,
     )
 
 
@@ -357,6 +436,7 @@ __all__ = [
     "SCHEDULERS",
     "Scenario",
     "SweepResult",
+    "batch_inputs",
     "run_matrix",
     "run_scenario",
     "scenario_matrix",

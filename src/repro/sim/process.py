@@ -19,6 +19,63 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 Handler = Callable[[int, tuple], None]
 OutboundFilter = Callable[[int, tuple], "tuple | None | list[tuple]"]
 
+#: Cap on live instances sharing one ``(host, tag)`` slot table.  Slots are
+#: registered by *local* protocol code (never by network input), so the cap
+#: is a misuse guard, not a byzantine defence: it keeps the post-freeze
+#: mutability of slot tables from becoming an unbounded memory channel.
+MAX_INSTANCE_SLOTS = 1024
+
+
+class InstanceSlots:
+    """Bounded instance demux behind one shared tag.
+
+    The flat engine freezes ``(dst, tag) -> handler`` once; multiplexed
+    tags freeze to :meth:`dispatch`, whose slot dict stays mutable, so
+    instances of a module class can register and tear down *after* the
+    freeze without re-freezing.  Payloads carry the instance id in
+    position 1 (``(tag, instance_id, ...)``); unknown or unhashable ids
+    are dropped exactly like unknown tags (byzantine peers may send
+    arbitrary ids).
+    """
+
+    __slots__ = ("tag", "slots", "limit")
+
+    def __init__(self, tag: object, limit: int = MAX_INSTANCE_SLOTS):
+        self.tag = tag
+        self.slots: dict[object, Handler] = {}
+        self.limit = limit
+
+    def add(self, instance_id: object, handler: Handler) -> None:
+        if instance_id in self.slots:
+            raise SimulationError(
+                f"instance {instance_id!r} already registered on slot table "
+                f"{self.tag!r}"
+            )
+        if len(self.slots) >= self.limit:
+            raise SimulationError(
+                f"slot table {self.tag!r} is full ({self.limit} instances); "
+                "close finished instances before registering more"
+            )
+        self.slots[instance_id] = handler
+
+    def remove(self, instance_id: object) -> None:
+        if instance_id not in self.slots:
+            raise SimulationError(
+                f"instance {instance_id!r} not registered on slot table "
+                f"{self.tag!r}"
+            )
+        del self.slots[instance_id]
+
+    def dispatch(self, src: int, payload: tuple) -> None:
+        if len(payload) < 2:
+            return
+        try:
+            handler = self.slots.get(payload[1])
+        except TypeError:
+            return  # unhashable instance id from a byzantine sender
+        if handler is not None:
+            handler(src, payload)
+
 
 class ProcessHost:
     """One simulated process: id, handler table, outbound hook.
@@ -35,6 +92,7 @@ class ProcessHost:
         "outbound_filter",
         "behavior",
         "_handlers",
+        "_slot_tables",
         "_modules",
     )
 
@@ -46,7 +104,8 @@ class ProcessHost:
         #: Byzantine behaviour object for corrupt processes; None = nonfaulty.
         self.behavior: object | None = None
         self._handlers: dict[object, Handler] = {}
-        self._modules: dict[str, object] = {}
+        self._slot_tables: dict[object, InstanceSlots] = {}
+        self._modules: dict[object, object] = {}
 
     def deviation(self, hook: str):
         """Return the behaviour hook ``hook`` if this process is corrupt and
@@ -61,18 +120,23 @@ class ProcessHost:
         return getattr(self.behavior, hook, None)
 
     # -- module wiring ------------------------------------------------------
-    def attach(self, name: str, module: object) -> None:
+    def attach(self, name: object, module: object) -> None:
         if name in self._modules:
             raise SimulationError(f"module {name!r} already attached to {self.pid}")
         self._modules[name] = module
 
-    def module(self, name: str) -> object:
+    def detach(self, name: object) -> None:
+        if name not in self._modules:
+            raise SimulationError(f"process {self.pid} has no module {name!r}")
+        del self._modules[name]
+
+    def module(self, name: object) -> object:
         try:
             return self._modules[name]
         except KeyError:
             raise SimulationError(f"process {self.pid} has no module {name!r}") from None
 
-    def has_module(self, name: str) -> bool:
+    def has_module(self, name: object) -> bool:
         return name in self._modules
 
     def register_handler(self, tag: object, handler: Handler) -> None:
@@ -81,11 +145,60 @@ class ProcessHost:
                 f"cannot register handler for {tag!r} on process {self.pid}: "
                 "routing is frozen (the flat dispatch table is built at the "
                 "first dispatched event; attach modules and register every "
-                "handler before running the simulation)"
+                "handler before running the simulation — per-instance "
+                "registration stays possible via register_instance_handler "
+                "on tags whose slot table existed at freeze time)"
             )
         if tag in self._handlers:
             raise SimulationError(f"handler for {tag!r} already registered on {self.pid}")
         self._handlers[tag] = handler
+
+    def unregister_handler(self, tag: object) -> None:
+        """Release a whole tag (pre-freeze only: the frozen dispatch array
+        holds a snapshot, so a post-freeze removal would not take effect)."""
+        if self.runtime.routing_frozen:
+            raise SimulationError(
+                f"cannot unregister handler for {tag!r} on process {self.pid}: "
+                "routing is frozen"
+            )
+        if tag not in self._handlers:
+            raise SimulationError(f"no handler for {tag!r} on process {self.pid}")
+        del self._handlers[tag]
+        self._slot_tables.pop(tag, None)
+
+    def register_instance_handler(
+        self, tag: object, instance_id: object, handler: Handler
+    ) -> None:
+        """Register ``handler`` for payloads ``(tag, instance_id, ...)``.
+
+        The first registration under ``tag`` creates the (bounded) slot
+        table and claims the tag — that must happen before routing freezes.
+        Later instances only mutate the table, which the frozen dispatch
+        array routes through, so instances can come and go mid-run.
+        """
+        slots = self._slot_tables.get(tag)
+        if slots is None:
+            slots = InstanceSlots(tag)
+            # Claims the tag (and enforces the pre-freeze rule for the
+            # *first* instance) through the ordinary registration path.
+            self.register_handler(tag, slots.dispatch)
+            self._slot_tables[tag] = slots
+        slots.add(instance_id, handler)
+
+    def unregister_instance_handler(self, tag: object, instance_id: object) -> None:
+        """Release one instance slot (allowed after freeze; the shared tag
+        itself stays claimed)."""
+        slots = self._slot_tables.get(tag)
+        if slots is None:
+            raise SimulationError(
+                f"process {self.pid} has no slot table for {tag!r}"
+            )
+        slots.remove(instance_id)
+
+    def instance_slots(self, tag: object) -> dict[object, Handler]:
+        """Live instance slots under ``tag`` (read-only view for tests)."""
+        slots = self._slot_tables.get(tag)
+        return dict(slots.slots) if slots is not None else {}
 
     # -- receiving -------------------------------------------------------------
     def deliver(self, src: int, payload: object) -> None:

@@ -183,6 +183,64 @@ class TestFaultTolerance:
         assert all(delivered[pid] == [] for pid in cfg.pids)
 
 
+class TestCounterTallies:
+    """The counter-based echo bookkeeping: exact honest semantics, bounded
+    memory under byzantine value floods."""
+
+    def test_value_flood_bounded_and_honest_delivery_survives(self):
+        """A byzantine sender spamming fresh values per message cannot grow
+        the per-bid value map past the cap nor block the honest value."""
+        cfg, rt, managers = make_system(4, seed=6)
+        delivered = subscribe_all(cfg, managers)
+        bid = (1, "demo", 0)
+        # Host 4 floods every process with 50 distinct b2/b3 values.
+        for i in range(50):
+            rt.host(4).send_all(("b2", bid, ("demo", "junk", i)), "rb")
+            rt.host(4).send_all(("b3", bid, ("demo", "junk", i)), "rb")
+        rt.run_to_quiescence()
+        cap = 2 * cfg.n + cfg.t
+        from repro.broadcast.manager import _COUNTS2, _COUNTS3
+
+        for pid in (1, 2, 3):
+            inst = managers[pid]._instances[bid]
+            assert len(inst[_COUNTS2]) <= cap
+            assert len(inst[_COUNTS3]) <= cap
+        # The honest broadcast still goes through afterwards.
+        managers[1].broadcast(bid, ("demo", "genuine"))
+        rt.run_to_quiescence()
+        for pid in (1, 2, 3):
+            assert delivered[pid] == [(1, ("demo", "genuine"))]
+
+    def test_multi_value_sender_counted_once_per_value(self):
+        """Old set-based semantics: a (sender, value) pair tallies once,
+        even when the sender echoes several values."""
+        cfg, rt, managers = make_system(4)
+        from repro.broadcast.manager import _COUNTS2
+
+        bid = (1, "demo", 0)
+        target = managers[1]
+        for _ in range(2):
+            target._on_b2(2, ("b2", bid, ("demo", "A")))
+            target._on_b2(2, ("b2", bid, ("demo", "B")))
+        inst = target._instances[bid]
+        assert inst[_COUNTS2] == {("demo", "A"): 1, ("demo", "B"): 1}
+
+    def test_flood_then_honest_echoes_accept(self):
+        """First values are never capped: honest echoes arriving after a
+        full flood still reach the accept threshold."""
+        cfg, rt, managers = make_system(4)
+        bid = (1, "demo", 0)
+        target = managers[2]
+        got = []
+        managers[2].subscribe("demo", lambda o, v: got.append(v))
+        # Byzantine 4 fills the extra-value budget before any honest echo.
+        for i in range(20):
+            target._on_b3(4, ("b3", bid, ("demo", "junk", i)))
+        for src in (1, 2, 3):
+            target._on_b3(src, ("b3", bid, ("demo", "real")))
+        assert got == [("demo", "real")]
+
+
 class TestWeakBroadcast:
     def test_weak_broadcast_accepts(self):
         cfg, rt, managers = make_system(4)

@@ -86,6 +86,52 @@ class TestRunScenario:
         assert record.agreed
 
 
+class TestBatchedScenarios:
+    """The batched-agreement axis: batch > 1 drives K concurrent instances
+    on one runtime and aggregates the record across them."""
+
+    def test_batched_scenario_runs_and_aggregates(self):
+        record = run_scenario(
+            Scenario(n=7, seed=2, scheduler="fifo", batch=8)
+        )
+        assert record.agreed and record.terminated
+        assert record.decided_instances == 8
+        assert record.decisions_per_wall_second > 0
+        # Rotated split inputs decide both values across the batch.
+        assert record.decision is None
+
+    def test_batched_scenario_deterministic(self):
+        scenario = Scenario(n=4, seed=5, scheduler="fifo", batch=4)
+        first, second = run_scenario(scenario), run_scenario(scenario)
+        assert _no_wall([first]) == _no_wall([second])
+
+    def test_batch_inputs_vary_per_instance(self):
+        from repro.config import SystemConfig
+        from repro.sim.experiments import batch_inputs
+
+        config = SystemConfig(n=4, seed=1)
+        rows = batch_inputs(Scenario(n=4, seed=1, batch=3), config)
+        assert rows == [[0, 1, 0, 1], [1, 0, 1, 0], [0, 1, 0, 1]]
+        random_rows = batch_inputs(
+            Scenario(n=4, seed=1, batch=3, inputs="random"), config
+        )
+        assert len(random_rows) == 3 and len(set(map(tuple, random_rows))) > 1
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(n=4, seed=0, batch=0).validate()
+
+    def test_batched_matrix_through_worker_pool(self):
+        matrix = scenario_matrix(
+            ns=(4,), schedulers=("fifo",), seeds=range(4), batch=4
+        )
+        assert all(s.batch == 4 for s in matrix)
+        inline = run_matrix(matrix, workers=1)
+        pooled = run_matrix(matrix, workers=2)
+        assert _no_wall(inline.records) == _no_wall(pooled.records)
+        assert inline.agreement_rate == 1.0
+
+
 class TestRunMatrix:
     def test_worker_pool_equals_inline(self):
         matrix = scenario_matrix(

@@ -1,0 +1,287 @@
+"""The ProtocolModule lifecycle and per-instance dispatch slots.
+
+Covers the module contract (attach wires, close releases, every shipped
+protocol component implements it), the bounded instance demux at host and
+broadcast level — including registration/teardown *after* the routing
+freeze — and the incremental ABA vote validation against the fixpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.manager import BroadcastManager
+from repro.config import SystemConfig
+from repro.core.agreement import ABAProcess
+from repro.core.api import build_stack, _make_coins
+from repro.core.coin import CommonCoinModule, LocalCoin, SharedCoinGate
+from repro.core.manager import VSSManager
+from repro.errors import ProtocolError, SimulationError
+from repro.protocols.benor import BenOrProcess
+from repro.sim.module import ProtocolModule
+from repro.sim.process import InstanceSlots
+from repro.sim.runtime import Runtime
+
+
+def make_rt(n=4, seed=0, **kw):
+    return Runtime(SystemConfig(n=n, seed=seed), **kw)
+
+
+class TestModuleContract:
+    """Every shipped protocol module implements the uniform lifecycle."""
+
+    def test_all_stack_modules_are_protocol_modules(self):
+        stack = build_stack(SystemConfig(n=4, seed=0))
+        coins = _make_coins(stack, "svss")
+        aba = ABAProcess(
+            stack.runtime.host(1), stack.broadcasts[1], coins[1]
+        )
+        modules = [stack.broadcasts[1], stack.vss[1], coins[1], aba]
+        rt6 = make_rt(n=6)
+        modules.append(BenOrProcess(rt6.host(1)))
+        for module in modules:
+            assert isinstance(module, ProtocolModule), type(module)
+            assert module.attached
+            assert module.host.module(module.attach_name()) is module
+
+    def test_attach_twice_rejected(self):
+        rt = make_rt()
+        manager = BroadcastManager(rt.host(1))
+        with pytest.raises(ProtocolError):
+            manager.attach(rt.host(2))
+
+    def test_instance_modules_attach_under_instance_name(self):
+        stack = build_stack(SystemConfig(n=4, seed=0), with_vss=False)
+        coin = LocalCoin(stack.config.derive_rng("local-coin", 1))
+        aba = ABAProcess(
+            stack.runtime.host(1), stack.broadcasts[1], coin, instance_id=("aba", 7)
+        )
+        assert aba.attach_name() == ("aba", ("aba", 7))
+        assert stack.runtime.host(1).module(("aba", ("aba", 7))) is aba
+
+    def test_substrate_close_releases_plain_registrations_pre_freeze(self):
+        """A singleton module closed before the run releases its tags, so
+        a replacement can be wired in its place."""
+        rt = make_rt()
+        manager = BroadcastManager(rt.host(1))
+        manager.close()
+        replacement = BroadcastManager(rt.host(1))  # b1/b2/b3 are free again
+        assert replacement.attached
+
+    def test_substrate_close_rejected_after_freeze(self):
+        rt = make_rt()
+        managers = {pid: BroadcastManager(rt.host(pid)) for pid in (1, 2, 3, 4)}
+        managers[1].broadcast((1, "demo", 0), ("demo", "x"))
+        rt.run_to_quiescence()
+        assert rt.routing_frozen
+        with pytest.raises(ProtocolError):
+            managers[1].close()
+
+    def test_close_releases_topic_slot_and_detaches(self):
+        stack = build_stack(SystemConfig(n=4, seed=0), with_vss=False)
+        host = stack.runtime.host(1)
+        coin = LocalCoin(stack.config.derive_rng("local-coin", 1))
+        aba = ABAProcess(host, stack.broadcasts[1], coin, instance_id=("aba", 0))
+        assert ("aba", 0) in stack.broadcasts[1].topic_slots("aba")
+        aba.close()
+        assert aba.closed
+        assert ("aba", 0) not in stack.broadcasts[1].topic_slots("aba")
+        assert not host.has_module(("aba", ("aba", 0)))
+        # Closing again is a no-op, re-attaching is still an error.
+        aba.close()
+        with pytest.raises(ProtocolError):
+            aba.attach(host)
+
+
+class TestInstanceSlots:
+    def test_bounded_slot_table(self):
+        slots = InstanceSlots("demo", limit=2)
+        slots.add("a", lambda s, p: None)
+        slots.add("b", lambda s, p: None)
+        with pytest.raises(SimulationError):
+            slots.add("c", lambda s, p: None)
+        with pytest.raises(SimulationError):
+            slots.add("a", lambda s, p: None)  # duplicate
+        slots.remove("a")
+        slots.add("c", lambda s, p: None)  # freed capacity is reusable
+        with pytest.raises(SimulationError):
+            slots.remove("zz")
+
+    def test_dispatch_drops_unknown_and_garbage_instances(self):
+        got = []
+        slots = InstanceSlots("demo")
+        slots.add("a", lambda s, p: got.append(p))
+        slots.dispatch(1, ("demo", "a", 1))
+        slots.dispatch(1, ("demo", "other", 1))  # unknown instance
+        slots.dispatch(1, ("demo",))  # no instance position
+        slots.dispatch(1, ("demo", ["unhashable"], 1))  # byzantine garbage
+        assert got == [("demo", "a", 1)]
+
+    def test_post_freeze_instance_registration_and_teardown(self):
+        """The tentpole property: the frozen (dst, tag) table routes through
+        a mutable demux, so instances register/close after the freeze."""
+        rt = make_rt(n=6)
+        first = {pid: BenOrProcess(rt.host(pid), instance_id="a") for pid in (1, 2)}
+        rt.host(1).send(2, ("benor", "a", 1, 1, 0), "benor")
+        rt.run_to_quiescence()
+        assert rt.routing_frozen
+        # Plain registration is frozen ...
+        with pytest.raises(SimulationError):
+            rt.host(1).register_handler("late", lambda s, p: None)
+        # ... but a new instance of a slotted tag is not.
+        late = BenOrProcess(rt.host(2), instance_id="b")
+        got = rt.host(2).instance_slots("benor")
+        assert set(got) == {"a", "b"}
+        rt.host(1).send(2, ("benor", "b", 1, 1, 1), "benor")
+        rt.run_to_quiescence()
+        assert late.rounds[1].received[1] == {1: 1}
+        late.close()
+        assert set(rt.host(2).instance_slots("benor")) == {"a"}
+        # Messages for the closed instance are dropped, not mis-routed.
+        rt.host(1).send(2, ("benor", "b", 1, 1, 0), "benor")
+        rt.run_to_quiescence()
+        assert late.rounds[1].received[1] == {1: 1}
+        # Instance "a" only ever saw its own message, never "b" traffic.
+        assert first[2].rounds[1].received[1] == {1: 0}
+
+    def test_closed_aba_instance_stops_receiving_broadcasts(self):
+        stack = build_stack(SystemConfig(n=4, seed=0), with_vss=False)
+        coins = {
+            pid: LocalCoin(stack.config.derive_rng("local-coin", pid))
+            for pid in stack.config.pids
+        }
+        procs = {
+            pid: ABAProcess(
+                stack.runtime.host(pid),
+                stack.broadcasts[pid],
+                coins[pid],
+                instance_id=("aba", 0),
+            )
+            for pid in stack.config.pids
+        }
+        procs[2].close()
+        procs[1].start(1)
+        stack.runtime.run_to_quiescence()
+        assert procs[3].rounds[1].received[1] == {1: 1}
+        assert procs[2].rounds == {}
+
+
+class TestSharedCoinGate:
+    def test_release_waits_for_all_instances(self):
+        released = []
+
+        class Recorder(LocalCoin):
+            def release(self, csid):
+                released.append(csid)
+
+        gate = SharedCoinGate(Recorder(SystemConfig(n=4, seed=0).derive_rng("x")), 3)
+        for k in range(3):
+            gate.join(("cc", ("aba", k), 1))
+        gate.release(("cc", ("aba", 0), 1))
+        gate.release(("cc", ("aba", 1), 1))
+        assert released == []
+        gate.release(("cc", ("aba", 2), 1))
+        assert released == [("cc", "aba", 1)]
+
+    def test_retired_instances_do_not_block_later_rounds(self):
+        released = []
+
+        class Recorder(LocalCoin):
+            def release(self, csid):
+                released.append(csid)
+
+        gate = SharedCoinGate(Recorder(SystemConfig(n=4, seed=0).derive_rng("x")), 2)
+        # Instance 0 runs rounds 1-2 and halts; instance 1 reaches round 3.
+        for r in (1, 2):
+            gate.join(("cc", ("aba", 0), r))
+            gate.join(("cc", ("aba", 1), r))
+            gate.release(("cc", ("aba", 0), r))
+            gate.release(("cc", ("aba", 1), r))
+        gate.retire(2)
+        gate.join(("cc", ("aba", 1), 3))
+        gate.release(("cc", ("aba", 1), 3))
+        assert released == [("cc", "aba", 1), ("cc", "aba", 2), ("cc", "aba", 3)]
+
+    def test_get_translates_to_shared_session(self):
+        cfg = SystemConfig(n=4, seed=0)
+        coin = LocalCoin(cfg.derive_rng("local-coin", 1))
+        gate = SharedCoinGate(coin, 2)
+        values = {}
+        gate.get(("cc", ("aba", 0), 1), lambda v: values.setdefault(0, v))
+        gate.get(("cc", ("aba", 1), 1), lambda v: values.setdefault(1, v))
+        assert values[0] == values[1]
+        assert ("cc", "aba", 1) in coin._values
+
+
+class TestIncrementalRevalidation:
+    """The O(n²)-fixpoint replacement accepts the same votes in the same
+    order (TRACE_FULL cross-checks every delivery in the whole suite; this
+    drives the cascade paths directly, votes arriving phases-reversed)."""
+
+    def make_aba(self, n=4):
+        stack = build_stack(SystemConfig(n=n, seed=0), with_vss=False)
+        coin = LocalCoin(stack.config.derive_rng("local-coin", 1))
+        return ABAProcess(stack.runtime.host(1), stack.broadcasts[1], coin)
+
+    def vote(self, aba, origin, r, phase, v):
+        aba._on_rb(origin, ("aba", aba.instance_id, r, phase, v))
+
+    def test_reverse_phase_cascade(self):
+        aba = self.make_aba()  # n=4, t=1: n-t = 3
+        # Phase-3 flagged (1, True) needs 3 accepted phase-2 ones.
+        for origin in (1, 2, 3):
+            self.vote(aba, origin, 1, 3, (1, True))
+        # Phase-2 ones need 2 accepted phase-1 ones.
+        for origin in (1, 2, 3):
+            self.vote(aba, origin, 1, 2, 1)
+        state = aba.rounds[1]
+        assert state.accepted[2] == {} and state.accepted[3] == {}
+        assert len(state.pending2[1]) == 3 and len(state.pending3) == 3
+        self.vote(aba, 1, 1, 1, 1)
+        assert state.accepted[2] == {}  # one backing vote is not enough
+        self.vote(aba, 2, 1, 1, 1)  # crosses the threshold: full cascade
+        assert state.accepted[2] == {1: 1, 2: 1, 3: 1}
+        assert state.accepted[3] == {1: (1, True), 2: (1, True), 3: (1, True)}
+        assert not state.pending2[1] and not state.pending3
+        assert state.counts1 == [0, 2] and state.counts2 == [0, 3]
+
+    def test_unflagged_phase3_waits_for_no_majority_evidence(self):
+        aba = self.make_aba()  # n=4: unflagged needs counts2 >= [1, 1], total 3
+        self.vote(aba, 1, 1, 3, (None, False))
+        # Back both phase-2 values: two phase-1 votes per value.
+        self.vote(aba, 1, 1, 1, 0)
+        self.vote(aba, 2, 1, 1, 0)
+        self.vote(aba, 3, 1, 1, 1)
+        self.vote(aba, 4, 1, 1, 1)
+        self.vote(aba, 1, 1, 2, 0)
+        self.vote(aba, 2, 1, 2, 0)
+        state = aba.rounds[1]
+        assert state.accepted[3] == {}  # counts2 == [2, 0]: 1-side missing
+        self.vote(aba, 3, 1, 2, 1)
+        assert state.accepted[3] == {1: (None, False)}
+
+    def test_matches_fixpoint_oracle(self):
+        aba = self.make_aba()
+        self.vote(aba, 2, 1, 2, 0)
+        self.vote(aba, 3, 1, 3, (0, True))
+        for origin in (1, 2, 4):
+            self.vote(aba, origin, 1, 1, 0)
+        state = aba.rounds[1]
+        assert state.accepted == aba._fixpoint_accepted(state)
+
+
+class TestSVSSRowMemoization:
+    def test_share_rows_cached_per_recipient(self):
+        stack = build_stack(SystemConfig(n=4, seed=5))
+        sid = ("svss", ("memo", 0), 1)
+        stack.vss[1].svss_share(sid, 17)
+        dealer = stack.vss[1].svss[sid]
+        assert set(dealer._row_cache) == {1, 2, 3, 4}
+        first = dealer._share_rows(2)
+        assert dealer._share_rows(2) is first  # no matrix re-walk
+        # The cache holds exactly what went on the wire.
+        stack.runtime.run_to_quiescence()
+        recipient = stack.vss[2].svss[sid]
+        xs = list(range(1, stack.config.t + 2))
+        assert tuple(recipient.g.evaluate_many(xs)) == first[0]
+        assert tuple(recipient.h.evaluate_many(xs)) == first[1]
