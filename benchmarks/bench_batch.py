@@ -15,6 +15,12 @@ shared round coin) against ``K`` sequential solo stacks.
 2. **Ideal-coin multiplexing overhead**: the same series with a free coin
    — there is nothing to amortize, so this pins the cost of multiplexing
    itself (expected ~1x, i.e. the demux layer is not a tax).
+3. **Ideal-coin + vote coalescing**: the same free-coin series with
+   ``coalesce_votes=True`` — all ``K`` instances' votes per
+   (round, phase) ride one envelope per (src, dst) pair, so the batch
+   dispatches roughly *one* instance's worth of events and the series
+   turns ~K×-shaped.  This isolates the wire-coalescing win from the
+   coin-amortization win.
 
 The JSON artifact is committed at the repo root so the perf trajectory is
 diffable across PRs, next to ``BENCH_algebra.json`` / ``BENCH_engine.json``.
@@ -22,59 +28,35 @@ diffable across PRs, next to ``BENCH_algebra.json`` / ``BENCH_engine.json``.
 
 from __future__ import annotations
 
-import platform
 import time
 
-from bench_common import best_of, write_bench_json
+from bench_common import bench_payload, best_of, fast_agreement, fast_batch, write_bench_json
 from repro.analysis.tables import render_table
-from repro.config import SystemConfig
-from repro.core.api import run_byzantine_agreement, run_byzantine_agreement_batch
-from repro.sim.scheduler import FifoScheduler
-from repro.sim.tracing import TRACE_OFF
 
 N = 7
 KS = (1, 4, 16)
 SEED = 3
 
 
-def _inputs(k: int) -> list[list[int]]:
-    return [[(i + shift) % 2 for i in range(N)] for shift in range(k)]
-
-
 def _solo(coin) -> float:
     start = time.perf_counter()
-    result = run_byzantine_agreement(
-        _inputs(1)[0],
-        SystemConfig(n=N, seed=SEED),
-        coin=coin,
-        scheduler=FifoScheduler(),
-        trace_level=TRACE_OFF,
-    )
-    seconds = time.perf_counter() - start
-    assert result.agreed, f"solo {coin} failed to agree"
-    return seconds
+    fast_agreement(N, SEED, coin)
+    return time.perf_counter() - start
 
 
-def _batch(k: int, coin) -> tuple[float, int, int]:
+def _batch(k: int, coin, coalesce: bool) -> tuple[float, int, int]:
     start = time.perf_counter()
-    result = run_byzantine_agreement_batch(
-        _inputs(k),
-        SystemConfig(n=N, seed=SEED),
-        coin=coin,
-        scheduler=FifoScheduler(),
-        trace_level=TRACE_OFF,
-    )
+    result = fast_batch(k, N, SEED, coin, coalesce_votes=coalesce)
     seconds = time.perf_counter() - start
-    assert result.agreed, f"batch K={k} {coin} failed to agree"
     return seconds, result.events_dispatched, result.max_rounds
 
 
-def _series(coin, repeats: int) -> dict:
+def _series(coin, repeats: int, coalesce: bool = False) -> dict:
     solo_seconds = best_of(lambda: _solo(coin), repeats=repeats)
     sequential_rate = 1.0 / solo_seconds  # K decisions / (K * t_solo)
     rows = []
     for k in KS:
-        seconds, events, rounds = _batch(k, coin)
+        seconds, events, rounds = _batch(k, coin, coalesce)
         rows.append(
             {
                 "k": k,
@@ -88,6 +70,7 @@ def _series(coin, repeats: int) -> dict:
     return {
         "solo_seconds": solo_seconds,
         "sequential_decisions_per_sec": sequential_rate,
+        "coalesce_votes": coalesce,
         "batches": rows,
     }
 
@@ -95,9 +78,9 @@ def _series(coin, repeats: int) -> dict:
 def test_bench_batch(emit):
     svss = _series("svss", repeats=2)
     ideal = _series(("ideal", 1.0), repeats=3)
-    payload = {
-        "python": platform.python_version(),
-        "scenario": {
+    ideal_coalesced = _series(("ideal", 1.0), repeats=3, coalesce=True)
+    payload = bench_payload(
+        {
             "n": N,
             "ks": list(KS),
             "scheduler": "FifoScheduler",
@@ -105,9 +88,10 @@ def test_bench_batch(emit):
             "seed": SEED,
             "share_coin": True,
         },
-        "svss": svss,
-        "ideal": ideal,
-    }
+        svss=svss,
+        ideal=ideal,
+        ideal_coalesced=ideal_coalesced,
+    )
     path = write_bench_json("batch", payload)
 
     def table(title: str, series: dict) -> str:
@@ -134,8 +118,14 @@ def test_bench_batch(emit):
 
     emit(table(f"Batched agreement, SVSS shared round coin (n={N})", svss))
     emit(table(f"Batched agreement, ideal coin (multiplexing overhead, n={N})", ideal))
+    emit(
+        table(
+            f"Batched agreement, ideal coin + coalesce_votes (n={N})",
+            ideal_coalesced,
+        )
+    )
 
-    # Acceptance gate of this PR: K=16 batched >= 2x the aggregate
+    # Acceptance gate of PR 3: K=16 batched >= 2x the aggregate
     # decisions/sec of 16 sequential stacks, full SVSS stack.
     k16 = next(row for row in svss["batches"] if row["k"] == 16)
     assert k16["speedup_vs_sequential"] >= 2.0, k16
@@ -143,3 +133,12 @@ def test_bench_batch(emit):
     # more than dispatch noise.
     k1 = next(row for row in ideal["batches"] if row["k"] == 1)
     assert k1["speedup_vs_sequential"] >= 0.5, k1
+    # Vote coalescing converts the free-coin series from flat to K-shaped:
+    # the K=16 coalesced batch must dispatch close to one instance's worth
+    # of events (<= 1/8 of the uncoalesced batch's bill).
+    k16_off = next(row for row in ideal["batches"] if row["k"] == 16)
+    k16_on = next(row for row in ideal_coalesced["batches"] if row["k"] == 16)
+    assert k16_on["events_dispatched"] * 8 <= k16_off["events_dispatched"], (
+        k16_off,
+        k16_on,
+    )

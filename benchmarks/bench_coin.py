@@ -1,0 +1,124 @@
+"""SVSS common-coin benchmark — emits ``BENCH_coin.json``.
+
+Measures the wire-level coalescing layer on its natural worst case: one
+shunning-common-coin invocation runs n² concurrent MW-SVSS sessions whose
+echo/ack/confirm traffic crosses the same (src, dst) pairs within the same
+protocol steps, so uncoalesced it dominates a full agreement run's event
+bill (~97% post-PR-3).  For ``n ∈ {4, 5, 7}`` this times one complete
+invocation (share + reveal, unit-delay FIFO network, ``TRACE_OFF``) with
+coalescing off and on and records:
+
+1. **Events per invocation** — dispatched events, wire pushes, envelope
+   counts.  Acceptance gate: ≥2× fewer dispatched events at ``n = 7``
+   with coalescing on (measured headroom is >60×: a coin step's per-pair
+   session traffic collapses to one envelope).
+2. **Wall-clock per invocation** — single-shot seconds (the event counts
+   are deterministic; wall-clock is recorded for the trajectory, not
+   gated, since the logical per-message handler work still dominates).
+3. **Equivalence** — the coin outputs of every process must be identical
+   off vs on (the coalescer is a pure event-count optimization under
+   fixed-delay schedulers).
+
+``n = 10`` is deliberately absent: the *uncoalesced* baseline exceeds the
+runtime's 50M-event livelock guard (the coin's logical message bill grows
+as ~n⁴ sharings × echo rounds), which is the problem this layer attacks —
+coalesced, the n = 10 invocation dispatches ~850k events for its ~105M
+logical messages, but a CI-budget benchmark cannot time the off side.
+
+The JSON artifact is committed at the repo root so the perf trajectory is
+diffable across PRs, next to the other ``BENCH_*.json`` files.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import bench_payload, fast_coin_flip, write_bench_json
+from repro.analysis.tables import render_table
+
+NS = (4, 5, 7)
+SEED = 5
+GATE_N = 7
+GATE_EVENTS_REDUCTION = 2.0
+
+
+def _timed_flip(n: int, coalesce: bool) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fast_coin_flip(n, SEED, coalesce=coalesce)
+    return time.perf_counter() - start, result
+
+
+def _series() -> list[dict]:
+    rows = []
+    for n in NS:
+        row: dict = {"n": n}
+        outputs = {}
+        for mode, coalesce in (("off", False), ("on", True)):
+            seconds, result = _timed_flip(n, coalesce)
+            outputs[mode] = dict(result.outputs)
+            row[mode] = {
+                "seconds": seconds,
+                "events_dispatched": result.events_dispatched,
+                "messages_pushed": result.messages_pushed,
+                "envelopes_pushed": result.envelopes_pushed,
+                "payloads_coalesced": result.payloads_coalesced,
+                "events_per_sec": result.events_dispatched / seconds,
+            }
+        # Pure optimization: same coin bits at every process, either way.
+        assert outputs["on"] == outputs["off"], row
+        row["outputs_identical"] = True
+        row["events_reduction"] = (
+            row["off"]["events_dispatched"] / row["on"]["events_dispatched"]
+        )
+        row["wall_clock_speedup"] = row["off"]["seconds"] / row["on"]["seconds"]
+        rows.append(row)
+    return rows
+
+
+def test_bench_coin(emit):
+    series = _series()
+    payload = bench_payload(
+        {
+            "ns": list(NS),
+            "scheduler": "FifoScheduler",
+            "trace_level": "TRACE_OFF",
+            "seed": SEED,
+            "gate": f">= {GATE_EVENTS_REDUCTION}x fewer events at n={GATE_N}",
+        },
+        invocations=series,
+    )
+    path = write_bench_json("coin", payload)
+
+    emit(
+        render_table(
+            "SVSS common coin: one invocation, coalescing off vs on",
+            ["n", "events off", "events on", "reduction", "envelopes",
+             "s off", "s on", "speedup"],
+            [
+                [
+                    row["n"],
+                    f"{row['off']['events_dispatched']:,}",
+                    f"{row['on']['events_dispatched']:,}",
+                    f"{row['events_reduction']:.1f}x",
+                    f"{row['on']['envelopes_pushed']:,}",
+                    f"{row['off']['seconds']:.2f}",
+                    f"{row['on']['seconds']:.2f}",
+                    f"{row['wall_clock_speedup']:.2f}x",
+                ]
+                for row in series
+            ],
+            note=(
+                "full share+reveal, unit-delay FIFO, TRACE_OFF; outputs "
+                f"identical off vs on at every n; artifact: {path.name}"
+            ),
+        )
+    )
+
+    # Acceptance gate of this PR: >= 2x fewer dispatched events per coin
+    # invocation at n = 7 with coalescing on.
+    gate_row = next(row for row in series if row["n"] == GATE_N)
+    assert gate_row["events_reduction"] >= GATE_EVENTS_REDUCTION, gate_row
+    for row in series:
+        assert row["outputs_identical"], row
+        # Envelopes must actually carry the traffic (not a degenerate win).
+        assert row["on"]["payloads_coalesced"] > row["on"]["envelopes_pushed"] > 0

@@ -1,9 +1,17 @@
-"""Shared measurement helpers for the experiment benchmarks."""
+"""Shared measurement helpers for the experiment benchmarks.
+
+Besides the JSON/timing utilities this hosts the stack/run setup shared by
+the perf-trajectory benchmarks (``bench_engine.py`` / ``bench_batch.py`` /
+``bench_coin.py``): one place defines the canonical "fast run" scenario
+(unit-delay FIFO network, ``TRACE_OFF``) so every artifact measures the
+same workload shape.
+"""
 
 from __future__ import annotations
 
 import json
 import pathlib
+import platform
 import time
 
 from repro.adversary.controller import Adversary
@@ -11,9 +19,12 @@ from repro.config import SystemConfig
 from repro.core.api import (
     flip_common_coin,
     run_byzantine_agreement,
+    run_byzantine_agreement_batch,
     run_mwsvss,
     run_svss,
 )
+from repro.sim.scheduler import FifoScheduler
+from repro.sim.tracing import TRACE_OFF
 
 #: Repo root — ``BENCH_*.json`` perf artifacts live here so the trajectory
 #: of every optimisation PR is a committed, diffable file.
@@ -35,6 +46,67 @@ def best_of(callable_, repeats: int = 5) -> float:
         callable_()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def bench_payload(scenario: dict, **sections) -> dict:
+    """The canonical ``BENCH_*.json`` shape: python version + scenario
+    stanza + one key per measured series."""
+    return {"python": platform.python_version(), "scenario": scenario, **sections}
+
+
+def rotated_split_inputs(n: int, k: int) -> list[list[int]]:
+    """``k`` rows of rotated split inputs (every batch instance differs)."""
+    return [[(i + shift) % 2 for i in range(n)] for shift in range(k)]
+
+
+def fast_agreement(
+    n: int, seed: int, coin, engine: str = "flat", coalesce: bool = False, **kw
+):
+    """One canonical benchmark agreement run: split inputs, unit-delay FIFO
+    network, ``TRACE_OFF``.  Asserts agreement and returns the result."""
+    result = run_byzantine_agreement(
+        [i % 2 for i in range(n)],
+        SystemConfig(n=n, seed=seed),
+        coin=coin,
+        scheduler=FifoScheduler(),
+        trace_level=TRACE_OFF,
+        engine=engine,
+        coalesce=coalesce,
+        **kw,
+    )
+    assert result.agreed, f"n={n} coin={coin!r} engine={engine} failed to agree"
+    return result
+
+
+def fast_batch(k: int, n: int, seed: int, coin, coalesce_votes: bool = False, **kw):
+    """One canonical benchmark batch run (same scenario as
+    :func:`fast_agreement`, ``k`` rotated-input instances)."""
+    result = run_byzantine_agreement_batch(
+        rotated_split_inputs(n, k),
+        SystemConfig(n=n, seed=seed),
+        coin=coin,
+        scheduler=FifoScheduler(),
+        trace_level=TRACE_OFF,
+        coalesce_votes=coalesce_votes,
+        **kw,
+    )
+    assert result.agreed, f"batch K={k} n={n} coin={coin!r} failed to agree"
+    return result
+
+
+def fast_coin_flip(n: int, seed: int, coalesce: bool = False):
+    """One canonical SVSS common-coin invocation (unit-delay FIFO,
+    ``TRACE_OFF``); asserts every process output a bit."""
+    result, stack = flip_common_coin(
+        SystemConfig(n=n, seed=seed),
+        scheduler=FifoScheduler(),
+        trace_level=TRACE_OFF,
+        coalesce=coalesce,
+    )
+    assert set(result.outputs) == set(stack.config.pids), (
+        f"n={n} coalesce={coalesce}: not every process output a coin bit"
+    )
+    return result
 
 
 def measure_agreement_rounds(

@@ -20,16 +20,9 @@ diffable across PRs, next to ``BENCH_algebra.json``.
 
 from __future__ import annotations
 
-import platform
-import time
-
-from bench_common import best_of, write_bench_json
+from bench_common import bench_payload, best_of, fast_agreement, write_bench_json
 from repro.analysis.tables import render_table
-from repro.config import SystemConfig
-from repro.core.api import run_byzantine_agreement
 from repro.sim.events import BucketQueue, EventQueue
-from repro.sim.scheduler import FifoScheduler
-from repro.sim.tracing import TRACE_OFF
 
 NS = (4, 7, 10, 13)
 SEED = 7
@@ -39,16 +32,7 @@ QUEUE_BATCHES = 20  # concurrent fan-outs sharing one timestamp
 
 
 def _one_agreement(n: int, engine: str):
-    result = run_byzantine_agreement(
-        [i % 2 for i in range(n)],
-        SystemConfig(n=n, seed=SEED),
-        coin=("ideal", 1.0),
-        scheduler=FifoScheduler(),
-        trace_level=TRACE_OFF,
-        engine=engine,
-    )
-    assert result.agreed, f"n={n} engine={engine} failed to agree"
-    return result
+    return fast_agreement(n, SEED, ("ideal", 1.0), engine=engine)
 
 
 def _agreement_series() -> list[dict]:
@@ -118,17 +102,16 @@ def _queue_micro() -> dict:
 def test_bench_engine(emit):
     agreement = _agreement_series()
     queue = _queue_micro()
-    payload = {
-        "python": platform.python_version(),
-        "scenario": {
+    payload = bench_payload(
+        {
             "coin": "ideal(1.0)",
             "scheduler": "FifoScheduler",
             "trace_level": "TRACE_OFF",
             "seed": SEED,
         },
-        "agreement": agreement,
-        "queue_micro": queue,
-    }
+        agreement=agreement,
+        queue_micro=queue,
+    )
     path = write_bench_json("engine", payload)
 
     emit(

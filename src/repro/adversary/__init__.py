@@ -11,7 +11,10 @@ from repro.adversary.behaviors import (
     MutatingBehavior,
     SilentBehavior,
 )
-from repro.adversary.schedulers import VoteBalancingScheduler
+from repro.adversary.schedulers import (
+    EnvelopeSplittingScheduler,
+    VoteBalancingScheduler,
+)
 from repro.adversary.controller import (
     BEHAVIOR_KINDS,
     Adversary,
@@ -30,6 +33,7 @@ __all__ = [
     "BiasedCoinBehavior",
     "ByzantineBehavior",
     "CrashBehavior",
+    "EnvelopeSplittingScheduler",
     "EquivocatingDealerBehavior",
     "LyingConfirmerBehavior",
     "LyingReconstructorBehavior",

@@ -13,6 +13,17 @@ Two complementary attack surfaces:
   targeted property experiments, e.g. the paper's Example 1.
 
 A behaviour object may use either or both surfaces.
+
+Coalescing contract: outbound filters run in :meth:`ProcessHost.send`,
+*before* the runtime's wire-level coalescer buffers anything — so every
+filter sees, rewrites, drops, or multiplies individual **logical**
+messages, never envelopes.  A mutator corrupting one message therefore
+never touches the siblings that end up sharing its envelope, and a
+crash-after-N-sends behaviour crashes at the same logical message whether
+or not coalescing is on.  (A byzantine process may of course *forge* an
+``("env", ...)`` payload through its filter; receivers unpack it with the
+same per-sub-payload validation as real envelopes, which grants no power
+beyond sending the sub-payloads individually.)
 """
 
 from __future__ import annotations

@@ -19,11 +19,20 @@ the coin:
   next round decides.
 
 Eventual delivery still holds: held messages arrive after a finite delay.
+
+Coalescing interplay: on a ``Runtime(coalesce=True)`` a scheduler may be
+handed *envelope* payloads carrying several logical messages (see
+:mod:`repro.sim.runtime`).  :class:`VoteBalancingScheduler` classifies an
+envelope by its dominant vote sub-payload and delays it as a unit;
+:class:`EnvelopeSplittingScheduler` instead refuses shared delivery
+outright — every buffered message is scheduled individually, restoring the
+full per-message adversarial surface at the uncoalesced event cost.
 """
 
 from __future__ import annotations
 
 from repro.config import SystemConfig
+from repro.sim.process import ENVELOPE_TAG
 from repro.sim.scheduler import Scheduler
 
 
@@ -43,9 +52,39 @@ class VoteBalancingScheduler(Scheduler):
         self._hold = hold
         self._group_a = frozenset(range(1, config.n // 2 + 1))
 
+    @classmethod
+    def _vote_value(cls, payload: object) -> int | None:
+        """The binary value a (possibly coalesced) message argues for.
+
+        Envelope events are classified by their *dominant* sub-payload:
+        the vote value the most sub-messages argue for (ties break to the
+        first classifiable sub-payload).  Without this, every coalesced
+        vote would fall through to the base delay and the balancing attack
+        would silently vanish as soon as ``coalesce`` is on.
+        """
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == ENVELOPE_TAG
+            and isinstance(payload[1], tuple)
+        ):
+            counts = [0, 0]
+            first: int | None = None
+            for sub in payload[1]:
+                value = cls._single_vote_value(sub)
+                if value is None:
+                    continue
+                if first is None:
+                    first = value
+                counts[value] += 1
+            if counts[0] == counts[1]:
+                return first  # None when the envelope carries no votes
+            return 0 if counts[0] > counts[1] else 1
+        return cls._single_vote_value(payload)
+
     @staticmethod
-    def _vote_value(payload: object) -> int | None:
-        """The binary value a vote message argues for, if any."""
+    def _single_vote_value(payload: object) -> int | None:
+        """The binary value one logical vote message argues for, if any."""
         vote = None
         # ABA votes travel as RB values ("aba", instance_id, r, phase, vote);
         # Ben-Or votes as plain sends ("benor", instance_id, r, phase, vote).
@@ -81,3 +120,31 @@ class VoteBalancingScheduler(Scheduler):
 
     def describe(self) -> str:
         return f"VoteBalancing(hold={self._hold})"
+
+
+class EnvelopeSplittingScheduler(Scheduler):
+    """Adversarial wrapper that splits every envelope back into per-message
+    deliveries.
+
+    The coalescing contract defines delay/drop/mutate semantics per
+    *logical* message; this scheduler is the path that makes the claim
+    checkable — with ``splits_envelopes`` set, the runtime schedules every
+    buffered message through :meth:`delay` individually and never forms an
+    envelope, so an adversary wrapping any base policy keeps exactly the
+    per-message power it had before coalescing existed.  (Under a
+    fixed-delay base this reproduces the uncoalesced run bit-for-bit.)
+    """
+
+    splits_envelopes = True
+
+    def __init__(self, base: Scheduler):
+        self._base = base
+
+    def delay(self, src: int, dst: int, payload: object, now: float) -> float:
+        return self._base.delay(src, dst, payload, now)
+
+    def fixed_delay(self) -> float | None:
+        return self._base.fixed_delay()
+
+    def describe(self) -> str:
+        return f"Split({self._base.describe()})"

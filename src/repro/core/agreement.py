@@ -440,6 +440,12 @@ class ABAProcess(ProtocolModule):
             retire = getattr(self.coin, "retire", None)
             if retire is not None:
                 retire(r)
+            # Auto-prune: a halted instance releases its broadcast slot
+            # immediately, so long-lived runtimes never accumulate dead
+            # demux entries (no driver-side close() needed).  Stragglers'
+            # late votes for this instance are dropped at topic routing —
+            # exactly what the halted guard made of them before.
+            self.close()
             return
         self._enter_round(r + 1)
 

@@ -134,6 +134,7 @@ def build_stack(
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
     instances: int | Sequence[object] = 1,
+    coalesce: bool = False,
 ) -> Stack:
     """Assemble runtime, broadcast and (optionally) VSS for every process.
 
@@ -151,6 +152,12 @@ def build_stack(
     The broadcast/VSS substrate is shared either way; the declaration
     sizes the per-instance maps and is what
     :func:`run_byzantine_agreement_batch` builds on.
+
+    ``coalesce`` enables wire-level message coalescing: all sends of one
+    dispatch step sharing a (src, dst) pair travel as one envelope event
+    (see :mod:`repro.sim.runtime`).  A pure event-count optimization —
+    decisions and per-channel delivered logical-message sequences are
+    unchanged under fixed-delay schedulers.
     """
     if measure_bytes and trace_level < TRACE_COUNTS:
         raise ConfigurationError(
@@ -159,7 +166,11 @@ def build_stack(
         )
     instance_ids = _normalize_instances(instances)
     runtime = Runtime(
-        config, scheduler=scheduler, trace_level=trace_level, engine=engine
+        config,
+        scheduler=scheduler,
+        trace_level=trace_level,
+        engine=engine,
+        coalesce=coalesce,
     )
     runtime.trace.measure_bytes = measure_bytes
     broadcasts = {}
@@ -255,10 +266,15 @@ class AgreementResult:
     #: Runtime counters (always recorded, even at TRACE_OFF): events
     #: delivered, messages pushed onto the wire, and how often the
     #: completion predicate was evaluated (O(state changes) on the flat
-    #: engine vs O(events) on the legacy engine).
+    #: engine vs O(events) on the legacy engine).  With coalescing on,
+    #: ``messages_pushed`` counts *wire events* (an envelope is one);
+    #: ``envelopes_pushed``/``payloads_coalesced`` size the saving and
+    #: ``trace.total_messages`` keeps the logical count.
     events_dispatched: int = 0
     messages_pushed: int = 0
     predicate_evals: int = 0
+    envelopes_pushed: int = 0
+    payloads_coalesced: int = 0
 
     @property
     def agreed(self) -> bool:
@@ -304,6 +320,7 @@ def run_byzantine_agreement(
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
+    coalesce: bool = False,
 ) -> AgreementResult:
     """Run one asynchronous Byzantine agreement to completion.
 
@@ -322,6 +339,7 @@ def run_byzantine_agreement(
         trace_level=trace_level,
         engine=engine,
         instances=(tag,),
+        coalesce=coalesce,
     )
     coins = _make_coins(stack, coin, instance=tag)
     input_map = _normalize_inputs(inputs, config)
@@ -339,8 +357,11 @@ def run_byzantine_agreement(
     stack.aba = processes
     stack.agreements[tag] = processes
     nonfaulty = stack.nonfaulty()
-    for pid in config.pids:
-        processes[pid].start(input_map[pid])
+    # Source-major driver sends in one coalescing step: each host's round-1
+    # vote and coin-join traffic leaves as one envelope per destination.
+    with stack.runtime.coalescing_step():
+        for pid in config.pids:
+            processes[pid].start(input_map[pid])
 
     def finished() -> bool:
         if all(pid in decisions for pid in nonfaulty):
@@ -367,6 +388,8 @@ def run_byzantine_agreement(
         events_dispatched=stack.runtime.events_dispatched,
         messages_pushed=stack.runtime.queue.pushed_total,
         predicate_evals=stack.runtime.predicate_evals,
+        envelopes_pushed=stack.runtime.envelopes_pushed,
+        payloads_coalesced=stack.runtime.payloads_coalesced,
     )
 
 
@@ -396,6 +419,8 @@ class BatchAgreementResult:
     events_dispatched: int = 0
     messages_pushed: int = 0
     predicate_evals: int = 0
+    envelopes_pushed: int = 0
+    payloads_coalesced: int = 0
 
     def __len__(self) -> int:
         return len(self.instance_ids)
@@ -431,6 +456,7 @@ def run_byzantine_agreement_batch(
     max_rounds: int = 200,
     max_events: int = DEFAULT_MAX_EVENTS,
     share_coin: bool = True,
+    coalesce_votes: bool = False,
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
@@ -456,6 +482,16 @@ def run_byzantine_agreement_batch(
     With ``share_coin=False`` every instance gets its own coin sessions
     (ids derived from its instance id), restoring the strict per-instance
     release discipline at ``K`` times the coin cost.
+
+    ``coalesce_votes=True`` turns on the runtime's wire-level coalescing
+    for the whole batch: all ``K`` instances advance in lock-step under a
+    fixed-delay scheduler, so their votes for one (round, phase) — and the
+    broadcast echo traffic amplifying them — ride one envelope per
+    (src, dst) pair instead of ``K`` separate events.  Per-instance
+    decisions are unchanged (the coalescer preserves per-party delivered
+    logical-message sequences); only the event bill shrinks, which is what
+    converts the free-coin batch series from flat to ~K×-shaped (see
+    ``benchmarks/bench_batch.py``).
     """
     rows = list(inputs_matrix)
     if not rows:
@@ -471,6 +507,7 @@ def run_byzantine_agreement_batch(
         trace_level=trace_level,
         engine=engine,
         instances=instance_ids,
+        coalesce=coalesce_votes,
     )
     input_maps = {
         iid: _normalize_inputs(rows[k], config)
@@ -522,9 +559,16 @@ def run_byzantine_agreement_batch(
         stack.agreements[iid] = processes
     stack.aba = stack.agreements[instance_ids[0]]
     nonfaulty = stack.nonfaulty()
-    for iid in instance_ids:
+    # Start source-major (all of one host's instances before the next
+    # host's) inside one coalescing step: the K round-1 votes of each
+    # (src, dst) pair ride one envelope, which is what seeds the
+    # self-sustaining vote coalescing of ``coalesce_votes=True``.  Every
+    # instance's per-party sub-sequence is unaffected by the start order,
+    # so the batch-matches-solo guarantee is order-independent here.
+    with stack.runtime.coalescing_step():
         for pid in config.pids:
-            stack.agreements[iid][pid].start(input_maps[iid][pid])
+            for iid in instance_ids:
+                stack.agreements[iid][pid].start(input_maps[iid][pid])
 
     def instance_done(iid: object) -> bool:
         if all(pid in decisions[iid] for pid in nonfaulty):
@@ -565,6 +609,8 @@ def run_byzantine_agreement_batch(
         events_dispatched=stack.runtime.events_dispatched,
         messages_pushed=stack.runtime.queue.pushed_total,
         predicate_evals=stack.runtime.predicate_evals,
+        envelopes_pushed=stack.runtime.envelopes_pushed,
+        payloads_coalesced=stack.runtime.payloads_coalesced,
     )
 
 
@@ -726,6 +772,12 @@ class CoinResult:
     outputs: dict[int, int]
     sim_time: float
     trace: Trace
+    #: Runtime counters (see :class:`AgreementResult`); the coin benchmark
+    #: reads the event bill of one invocation from here.
+    events_dispatched: int = 0
+    messages_pushed: int = 0
+    envelopes_pushed: int = 0
+    payloads_coalesced: int = 0
 
     def unanimous(self, pids: list[int]) -> bool:
         return len({self.outputs[p] for p in pids if p in self.outputs}) == 1
@@ -739,6 +791,7 @@ def flip_common_coin(
     max_events: int = DEFAULT_MAX_EVENTS,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
+    coalesce: bool = False,
 ) -> tuple[CoinResult, Stack]:
     """Run one full SVSS-based shunning common coin invocation."""
     config.require_optimal_resilience()
@@ -748,14 +801,18 @@ def flip_common_coin(
         adversary=adversary,
         trace_level=trace_level,
         engine=engine,
+        coalesce=coalesce,
     )
     coins = _make_coins(stack, "svss")
     csid = ("cc", "solo", session)
     outputs: dict[int, int] = {}
-    for pid in config.pids:
-        coins[pid].join(csid)
-        coins[pid].get(csid, lambda v, pid=pid: outputs.setdefault(pid, v))
-        coins[pid].release(csid)
+    # Source-major joins in one coalescing step: each dealer's n share
+    # batches leave as one envelope per recipient.
+    with stack.runtime.coalescing_step():
+        for pid in config.pids:
+            coins[pid].join(csid)
+            coins[pid].get(csid, lambda v, pid=pid: outputs.setdefault(pid, v))
+            coins[pid].release(csid)
     nonfaulty = set(stack.nonfaulty())
     try:
         stack.runtime.run_until(
@@ -770,6 +827,10 @@ def flip_common_coin(
         outputs=outputs,
         sim_time=stack.runtime.now,
         trace=stack.trace,
+        events_dispatched=stack.runtime.events_dispatched,
+        messages_pushed=stack.runtime.queue.pushed_total,
+        envelopes_pushed=stack.runtime.envelopes_pushed,
+        payloads_coalesced=stack.runtime.payloads_coalesced,
     )
     return result, stack
 

@@ -32,6 +32,14 @@ issues once the caller's round position is fixed — the value must not be
 revealed while the adversary can still steer the caller, and all nonfaulty
 processes are guaranteed to release every coin they join (§ agreement).
 
+*Cost profile.*  One invocation runs ``n²`` SVSS sharings (each a fan-out
+of MW-SVSS sub-sessions), whose echo/ack/confirm traffic crosses the same
+(src, dst) pairs within the same protocol steps — on a coalescing runtime
+(``Runtime(coalesce=True)``) that whole per-step bundle rides one envelope
+per pair, collapsing the invocation's event bill by 20–60× at small ``n``
+(``benchmarks/bench_coin.py``) with bit-identical outputs; the logical
+message count, and hence the paper's complexity claims, are unchanged.
+
 The module also provides the pluggable stand-ins used by baselines and
 scaling experiments: :class:`LocalCoin` (Ben-Or/Bracha style private
 coins), :class:`IdealCoin` (a perfect or probabilistically-agreeing shared

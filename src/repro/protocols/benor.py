@@ -181,6 +181,10 @@ class BenOrProcess(ProtocolModule):
             self.est = self._rng.randrange(2)
         if self.decided is not None and r >= self.decide_round + 1:
             self.halted = True
+            # Auto-prune the host-level dispatch slot on halt (mirrors
+            # ABAProcess; late messages for this instance drop at the
+            # demux instead of feeding a dead state machine).
+            self.close()
             return
         self._enter_round(r + 1)
 

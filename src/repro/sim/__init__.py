@@ -2,7 +2,12 @@
 
 from repro.sim.events import BucketQueue, Event, EventQueue
 from repro.sim.module import ProtocolModule
-from repro.sim.process import MAX_INSTANCE_SLOTS, InstanceSlots, ProcessHost
+from repro.sim.process import (
+    ENVELOPE_TAG,
+    MAX_INSTANCE_SLOTS,
+    InstanceSlots,
+    ProcessHost,
+)
 from repro.sim.runtime import (
     DEFAULT_MAX_EVENTS,
     ENGINE_FLAT,
@@ -34,6 +39,7 @@ __all__ = [
     "ENGINES",
     "ENGINE_FLAT",
     "ENGINE_LEGACY",
+    "ENVELOPE_TAG",
     "Event",
     "EventQueue",
     "ExponentialDelayScheduler",

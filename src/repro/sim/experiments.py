@@ -115,6 +115,11 @@ class Scenario:
     pattern — rotated per instance, or independently seeded for
     ``"random"``) on one runtime with a shared round coin, and the record
     aggregates across instances.
+
+    ``coalesce`` enables wire-level message coalescing (one envelope event
+    per (src, dst) pair per dispatch step; for batched scenarios this is
+    the ``coalesce_votes`` axis — all instances' votes per (round, phase)
+    share envelopes).
     """
 
     n: int
@@ -129,6 +134,7 @@ class Scenario:
     trace_level: int = TRACE_COUNTS
     batch: int = 1
     share_coin: bool = True
+    coalesce: bool = False
 
     def validate(self) -> None:
         if self.batch < 1:
@@ -249,6 +255,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
             max_rounds=scenario.max_rounds,
             max_events=scenario.max_events,
             share_coin=scenario.share_coin,
+            coalesce_votes=scenario.coalesce,
             trace_level=scenario.trace_level,
             engine=scenario.engine,
         )
@@ -279,6 +286,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
         max_events=scenario.max_events,
         trace_level=scenario.trace_level,
         engine=scenario.engine,
+        coalesce=scenario.coalesce,
     )
     wall = time.perf_counter() - start
     return RunRecord(

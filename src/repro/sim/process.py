@@ -19,6 +19,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 Handler = Callable[[int, tuple], None]
 OutboundFilter = Callable[[int, tuple], "tuple | None | list[tuple]"]
 
+#: Reserved tag of coalesced *envelope* events (see
+#: :meth:`~repro.sim.runtime.Runtime.transmit`): the payload is
+#: ``("env", (sub_payload, ...))`` where every sub-payload is one complete
+#: logical message in original send order.  The tag is claimed by every
+#: host at construction, so protocol modules can never register it.
+ENVELOPE_TAG = "env"
+
 #: Cap on live instances sharing one ``(host, tag)`` slot table.  Slots are
 #: registered by *local* protocol code (never by network input), so the cap
 #: is a misuse guard, not a byzantine defence: it keeps the post-freeze
@@ -103,7 +110,11 @@ class ProcessHost:
         self.outbound_filter: OutboundFilter | None = None
         #: Byzantine behaviour object for corrupt processes; None = nonfaulty.
         self.behavior: object | None = None
-        self._handlers: dict[object, Handler] = {}
+        # The envelope tag is wired at birth so the routing freeze always
+        # snapshots it and no module can claim it for itself.
+        self._handlers: dict[object, Handler] = {
+            ENVELOPE_TAG: self._deliver_envelope
+        }
         self._slot_tables: dict[object, InstanceSlots] = {}
         self._modules: dict[object, object] = {}
 
@@ -215,6 +226,41 @@ class ProcessHost:
         handler = self._handlers.get(payload[0])
         if handler is not None:
             handler(src, payload)
+
+    def _deliver_envelope(self, src: int, payload: tuple) -> None:
+        """Unpack one coalesced envelope and deliver its sub-payloads.
+
+        Sub-payloads route through the live handler table in buffer order,
+        so the per-party sequence of *logical* messages is exactly what the
+        uncoalesced run delivers.  Crash state is re-checked before every
+        sub-payload: a host that crashes while processing sub-payload ``j``
+        (e.g. its crash-behaviour budget ran out mid-reply) drops the rest
+        of the envelope, just as it would drop the remaining events of the
+        uncoalesced run.  Byzantine peers may forge envelopes; that grants
+        no new power (each sub-payload still passes the same routing and
+        per-handler validation as a plain send) and nesting is refused so a
+        forged envelope cannot recurse.
+        """
+        if len(payload) != 2:
+            return
+        subs = payload[1]
+        if type(subs) is not tuple:
+            return  # forged envelope body; honest runtimes always pack tuples
+        handlers = self._handlers
+        for sub in subs:
+            if self.crashed:
+                return  # crash mid-envelope: remaining sub-payloads die too
+            if not isinstance(sub, tuple) or not sub:
+                continue
+            tag = sub[0]
+            if tag == ENVELOPE_TAG:
+                continue  # no nested envelopes
+            try:
+                handler = handlers.get(tag)
+            except TypeError:
+                continue  # unhashable tag from a byzantine sender
+            if handler is not None:
+                handler(src, sub)
 
     # -- sending ------------------------------------------------------------------
     def send(self, dst: int, payload: tuple, layer: str) -> None:

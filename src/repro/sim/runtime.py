@@ -26,17 +26,46 @@ Waiting is notification-driven: protocol modules call
 round advances or decides), and :meth:`Runtime.run_until` with
 ``on_change=True`` re-evaluates its predicate only when the change counter
 moved — O(state changes) predicate evaluations instead of O(events).
+
+Transport coalescing (``coalesce=True``): all :meth:`Runtime.transmit`
+calls made while one event is being dispatched are buffered per
+``(src, dst)`` and flushed at end-of-step as a single *envelope* event
+``("env", (sub_payload, ...))`` whenever two or more logical messages
+share the pair; the receiving host unpacks sub-payloads in order through
+its ordinary handler table (:meth:`ProcessHost._deliver_envelope`).  The
+n² concurrent MW-SVSS sessions of one common-coin invocation emit their
+echo/ack/confirm traffic between the same pairs within the same step, so
+their per-step event bill collapses from O(n²) per pair to O(1) — queue
+pushes, scheduler consultations and the hot loop's crash/dispatch checks
+are paid once per envelope, while every *logical* message still traverses
+its handler, the trace counters, byzantine outbound filters (applied
+before buffering) and the DMM.  Adversarial semantics stay per logical
+message: a scheduler classifies the whole envelope (see
+:meth:`~repro.sim.scheduler.Scheduler.splits_envelopes` and
+``repro.adversary.schedulers``) or opts to split it back into individually
+scheduled deliveries, losing no power.  With a fixed-delay scheduler the
+optimization is *pure*: every conversation — one (src, dst, session)
+stream — delivers the bit-identical sequence of logical messages, every
+party handles the identical message multiset, and decisions/rounds are
+bit-identical to the uncoalesced run on both engines
+(``tests/test_coalesce.py`` asserts all of this per seed); only the event
+count shrinks (``envelopes_pushed`` / ``payloads_coalesced`` size the
+effect).  Distinct conversations may regroup *within one simultaneity
+bucket* (envelopes merge events that delivered back-to-back at the same
+timestamp) — the protocol's state machines are per-session, so this is
+framing, not reordering.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Callable
+from contextlib import contextmanager
 
 from repro.config import SystemConfig
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import BucketQueue, EventQueue
-from repro.sim.process import ProcessHost
+from repro.sim.process import ENVELOPE_TAG, ProcessHost
 from repro.sim.scheduler import Scheduler, default_scheduler
 from repro.sim.tracing import TRACE_FULL, Trace
 
@@ -61,6 +90,7 @@ class Runtime:
         scheduler: Scheduler | None = None,
         trace_level: int = TRACE_FULL,
         engine: str = ENGINE_FLAT,
+        coalesce: bool = False,
     ):
         if engine not in ENGINES:
             raise SimulationError(
@@ -96,6 +126,21 @@ class Runtime:
         self._hosts_seq: list[ProcessHost | None] = [None] * (config.n + 1)
         for pid, host in self.hosts.items():
             self._hosts_seq[pid] = host
+        #: Wire-level message coalescing (see the module docstring).  The
+        #: scheduler may veto envelope delivery per se by advertising
+        #: ``splits_envelopes`` — buffered messages are then flushed as
+        #: individually scheduled events, restoring the uncoalesced
+        #: adversarial surface while keeping the coalescing code path on.
+        self.coalesce = bool(coalesce)
+        self._split_envelopes = bool(
+            getattr(self.scheduler, "splits_envelopes", False)
+        )
+        #: (src, dst) -> [payload, ...] buffered during the current step.
+        self._outbox: dict[tuple[int, int], list] = {}
+        self._buffering = False
+        #: Envelope events pushed / logical messages that rode inside them.
+        self.envelopes_pushed = 0
+        self.payloads_coalesced = 0
         #: Events dispatched over the runtime's lifetime (always counted,
         #: independent of the trace level).
         self.events_dispatched = 0
@@ -147,9 +192,28 @@ class Runtime:
 
     # -- transport -----------------------------------------------------------
     def transmit(self, src: int, dst: int, payload: tuple, layer: str) -> None:
-        """Accept a message onto the (simulated) wire."""
+        """Accept a message onto the (simulated) wire.
+
+        While an event is being dispatched on a coalescing runtime the
+        message is only *buffered*; :meth:`_flush_outbox` turns each
+        (src, dst) buffer into one envelope event at end-of-step.  Trace
+        accounting stays per logical message either way, so
+        ``trace.total_messages`` is coalescing-invariant.
+        """
         if dst not in self.hosts:
             raise SimulationError(f"send to unknown process {dst}")
+        trace = self.trace
+        if trace.level:  # TRACE_OFF == 0: skip the call + Counter work
+            trace.record_send(layer, payload)
+        if self._buffering:
+            outbox = self._outbox
+            key = (src, dst)
+            pending = outbox.get(key)
+            if pending is None:
+                outbox[key] = [payload]
+            else:
+                pending.append(payload)
+            return
         delay = self._fixed_delay
         if delay is None:
             delay = self.scheduler.delay(src, dst, payload, self.now)
@@ -158,9 +222,6 @@ class Runtime:
                     f"scheduler produced illegal delay {delay!r}; the model "
                     "requires positive finite delays (eventual delivery)"
                 )
-        trace = self.trace
-        if trace.level:  # TRACE_OFF == 0: skip the call + Counter work
-            trace.record_send(layer, payload)
         self.queue.push(self.now + delay, dst, src, payload)
 
     def transmit_all(self, src: int, payload: tuple, layer: str) -> None:
@@ -177,6 +238,16 @@ class Runtime:
         trace = self.trace
         if trace.level:
             trace.record_send_many(layer, payload, n)
+        if self._buffering:
+            outbox = self._outbox
+            for dst in range(1, n + 1):
+                key = (src, dst)
+                pending = outbox.get(key)
+                if pending is None:
+                    outbox[key] = [payload]
+                else:
+                    pending.append(payload)
+            return
         fixed = self._fixed_delay
         if fixed is not None:
             self.queue.push_fanout(self.now + fixed, src, payload, n)
@@ -193,6 +264,86 @@ class Runtime:
                 )
             push(now + delay, dst, src, payload)
 
+    def _checked_delay(self, src: int, dst: int, payload: object) -> float:
+        delay = self.scheduler.delay(src, dst, payload, self.now)
+        if not (delay > 0.0) or delay == _INF:
+            raise SimulationError(
+                f"scheduler produced illegal delay {delay!r}; the model "
+                "requires positive finite delays (eventual delivery)"
+            )
+        return delay
+
+    def _flush_outbox(self) -> None:
+        """Push the dispatch step's buffered messages onto the wire.
+
+        Each ``(src, dst)`` buffer with two or more logical messages
+        becomes one envelope event ``("env", (payload, ...))`` in send
+        order; singletons travel as plain events (no framing overhead).
+        Under a ``splits_envelopes`` scheduler every buffered message is
+        pushed — and scheduled — individually, which is the envelope-
+        splitting adversary path: per-message delay control is fully
+        restored at the uncoalesced event cost.  Buffers drain grouped by
+        first-touched pair; within a pair, order is send order, so every
+        destination still observes the uncoalesced per-party sequence.
+        """
+        outbox = self._outbox
+        now = self.now
+        fixed = self._fixed_delay
+        queue = self.queue
+        split = self._split_envelopes
+        try:
+            for (src, dst), payloads in outbox.items():
+                if len(payloads) == 1 or split:
+                    for payload in payloads:
+                        delay = fixed
+                        if delay is None:
+                            delay = self._checked_delay(src, dst, payload)
+                        queue.push(now + delay, dst, src, payload)
+                    continue
+                envelope = (ENVELOPE_TAG, tuple(payloads))
+                delay = fixed
+                if delay is None:
+                    delay = self._checked_delay(src, dst, envelope)
+                queue.push(now + delay, dst, src, envelope)
+                self.envelopes_pushed += 1
+                self.payloads_coalesced += len(payloads)
+        finally:
+            # Clear even when a scheduler produced an illegal delay
+            # mid-flush (fatal anyway): already-pushed pairs must not be
+            # re-pushed by a later flush if the caller swallows the error.
+            outbox.clear()
+
+    @contextmanager
+    def coalescing_step(self):
+        """Treat enclosed *driver-side* sends as one dispatch step.
+
+        Driver code (protocol ``start`` loops, coin joins) runs outside the
+        event loop, so its sends never see the per-step coalescer.  Wrapping
+        the whole loop in this context buffers them like an ordinary step
+        and flushes once at exit — this is what seeds vote coalescing for a
+        batch: the K instances' round-1 votes per (src, dst) leave as one
+        envelope, every later step then delivers K votes as one event and
+        emits the K responses inside that single step, so the coalescing is
+        self-sustaining.  Callers must emit in source-major order (all of
+        one sender's messages before the next sender's) if they rely on the
+        bit-identical-sequence guarantee.  No-op when coalescing is off;
+        do not use while the event loop is running.
+        """
+        if not self.coalesce:
+            yield
+            return
+        self._buffering = True
+        try:
+            yield
+        finally:
+            # Flush inside the finally: if the driver loop raised partway,
+            # the messages it sent before the error still go out (exactly
+            # what the uncoalesced run would have pushed already) instead
+            # of leaking into a later dispatch step's flush.
+            self._buffering = False
+            if self._outbox:
+                self._flush_outbox()
+
     # -- event loop --------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the next delivery; False when the queue is empty."""
@@ -202,15 +353,24 @@ class Runtime:
             self.freeze_routing()
         time, _, dst, src, payload = self.queue.pop()
         self.now = time
-        table = self._tables[dst]
-        if table is None:
-            self.hosts[dst].deliver(src, payload)
-        else:
-            host = self._hosts_seq[dst]
-            if not host.crashed and isinstance(payload, tuple) and payload:
-                handler = table.get(payload[0])
-                if handler is not None:
-                    handler(src, payload)
+        coalescing = self.coalesce
+        if coalescing:
+            self._buffering = True
+        try:
+            table = self._tables[dst]
+            if table is None:
+                self.hosts[dst].deliver(src, payload)
+            else:
+                host = self._hosts_seq[dst]
+                if not host.crashed and isinstance(payload, tuple) and payload:
+                    handler = table.get(payload[0])
+                    if handler is not None:
+                        handler(src, payload)
+        finally:
+            if coalescing:
+                self._buffering = False
+        if coalescing and self._outbox:
+            self._flush_outbox()
         self.events_dispatched += 1
         trace = self.trace
         if trace.level:
@@ -296,6 +456,12 @@ class Runtime:
         hosts_seq = self._hosts_seq
         trace = self.trace
         check = predicate is not None
+        # Coalescing buffers sends for the whole loop (driver code cannot
+        # run between events) and flushes after every dispatch, which is
+        # observably identical to per-step buffering.
+        coalescing = self.coalesce
+        if coalescing:
+            self._buffering = True
         # The caller evaluated the predicate before entering, so only a
         # version moved *after* this point warrants a re-evaluation.
         last_version = self._state_version
@@ -330,6 +496,8 @@ class Runtime:
                                     handler(src, payload)
                         else:
                             hosts_seq[dst].deliver(src, payload)
+                        if coalescing and self._outbox:
+                            self._flush_outbox()
                         if check:
                             version = self._state_version
                             if not on_change or version != last_version:
@@ -371,6 +539,8 @@ class Runtime:
                                 handler(src, payload)
                     else:
                         hosts_seq[dst].deliver(src, payload)
+                    if coalescing and self._outbox:
+                        self._flush_outbox()
                     if check:
                         version = self._state_version
                         if not on_change or version != last_version:
@@ -379,6 +549,8 @@ class Runtime:
                             if predicate():
                                 return dispatched
         finally:
+            if coalescing:
+                self._buffering = False
             self.events_dispatched += dispatched
             if trace.level:
                 trace.events_dispatched = self.events_dispatched

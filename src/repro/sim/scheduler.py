@@ -19,7 +19,23 @@ class Scheduler:
     Subclasses override :meth:`delay`.  Delays must be positive and finite;
     returning an unbounded delay would violate the paper's eventual-delivery
     assumption and is the one thing the adversary is *not* allowed to do.
+
+    On a coalescing runtime (``Runtime(coalesce=True)``) :meth:`delay` may
+    receive an *envelope* payload ``("env", (sub_payload, ...))`` carrying
+    several logical messages for the same destination.  A payload-sensitive
+    scheduler must either classify the envelope as a whole (see
+    ``repro.adversary.schedulers.VoteBalancingScheduler``) or set
+    :attr:`splits_envelopes` to opt out of shared delivery entirely: the
+    runtime then schedules every buffered message individually, so the
+    adversary's per-message delay control is exactly the uncoalesced one.
+    Address-only schedulers need neither — one shared delay per (src, dst)
+    step is within the powers the model already grants the adversary.
     """
+
+    #: When True the runtime never delivers envelopes under this scheduler:
+    #: each buffered logical message gets its own :meth:`delay` call and its
+    #: own queue event (the envelope-splitting adversary path).
+    splits_envelopes: bool = False
 
     def delay(self, src: int, dst: int, payload: object, now: float) -> float:
         return 1.0

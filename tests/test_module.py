@@ -21,6 +21,7 @@ from repro.protocols.benor import BenOrProcess
 from repro.sim.module import ProtocolModule
 from repro.sim.process import InstanceSlots
 from repro.sim.runtime import Runtime
+from repro.sim.scheduler import FifoScheduler
 
 
 def make_rt(n=4, seed=0, **kw):
@@ -164,6 +165,67 @@ class TestInstanceSlots:
         stack.runtime.run_to_quiescence()
         assert procs[3].rounds[1].received[1] == {1: 1}
         assert procs[2].rounds == {}
+
+
+class TestAutoPrune:
+    """Halted instances release their dispatch slots without a driver-side
+    close() — the ROADMAP-named leak fix for long-lived runtimes."""
+
+    def test_k16_batch_ends_with_zero_live_slots(self):
+        """A K=16 batch run to quiescence leaves no live ABA slot at any
+        host or broadcast manager: every instance halted and self-closed."""
+        k, n = 16, 7
+        config = SystemConfig(n=n, seed=11)
+        instance_ids = tuple(("aba", i) for i in range(k))
+        stack = build_stack(
+            config, scheduler=FifoScheduler(), instances=instance_ids
+        )
+        decisions = {iid: {} for iid in instance_ids}
+        for iid in instance_ids:
+            coins = _make_coins(stack, ("ideal", 1.0), instance=iid)
+            stack.agreements[iid] = {
+                pid: ABAProcess(
+                    stack.runtime.host(pid),
+                    stack.broadcasts[pid],
+                    coins[pid],
+                    instance_id=iid,
+                    on_decide=lambda v, iid=iid, pid=pid: decisions[
+                        iid
+                    ].setdefault(pid, v),
+                )
+                for pid in config.pids
+            }
+        for pid in config.pids:
+            assert len(stack.broadcasts[pid].topic_slots("aba")) == k
+        for iid in instance_ids:
+            for pid in config.pids:
+                stack.agreements[iid][pid].start((pid + iid[1]) % 2)
+        stack.runtime.run_to_quiescence()
+        for iid in instance_ids:
+            assert len(decisions[iid]) == n, iid
+            for pid in config.pids:
+                process = stack.agreements[iid][pid]
+                assert process.halted and process.closed, (iid, pid)
+                assert not stack.runtime.host(pid).has_module(("aba", iid))
+        for pid in config.pids:
+            assert stack.broadcasts[pid].topic_slots("aba") == {}
+
+    def test_benor_instances_release_host_slots_on_halt(self):
+        rt = make_rt(n=6, seed=2)
+        ids = ("a", "b", "c")
+        procs = {
+            iid: {pid: BenOrProcess(rt.host(pid), instance_id=iid) for pid in rt.config.pids}
+            for iid in ids
+        }
+        for iid in ids:
+            for pid in rt.config.pids:
+                procs[iid][pid].start(1)  # unanimous: decides fast
+        rt.run_to_quiescence()
+        for iid in ids:
+            for pid in rt.config.pids:
+                assert procs[iid][pid].halted and procs[iid][pid].closed
+        for pid in rt.config.pids:
+            assert rt.host(pid).instance_slots("benor") == {}
 
 
 class TestSharedCoinGate:
