@@ -38,6 +38,19 @@ def write_bench_json(name: str, payload: dict) -> pathlib.Path:
     return path
 
 
+def logical_messages(result) -> int:
+    """Logical protocol messages a run pushed onto the wire.
+
+    The one metric every gate compares across transport modes: envelope
+    framing is removed (an envelope counts as its payloads), while a
+    ``("svec", ...)`` slot-vector counts as ONE logical message — semantic
+    aggregation is exactly what shrinks this number.  Works at
+    ``TRACE_OFF`` (computed from the always-on runtime counters) and on
+    every result dataclass that carries them.
+    """
+    return result.logical_messages
+
+
 def best_of(callable_, repeats: int = 5) -> float:
     """Minimum wall-clock seconds of ``repeats`` calls (noise-robust)."""
     best = float("inf")
@@ -94,7 +107,7 @@ def fast_batch(k: int, n: int, seed: int, coin, coalesce_votes: bool = False, **
     return result
 
 
-def fast_coin_flip(n: int, seed: int, coalesce: bool = False):
+def fast_coin_flip(n: int, seed: int, coalesce: bool = False, svec: bool = False):
     """One canonical SVSS common-coin invocation (unit-delay FIFO,
     ``TRACE_OFF``); asserts every process output a bit."""
     result, stack = flip_common_coin(
@@ -102,9 +115,11 @@ def fast_coin_flip(n: int, seed: int, coalesce: bool = False):
         scheduler=FifoScheduler(),
         trace_level=TRACE_OFF,
         coalesce=coalesce,
+        svec=svec,
     )
     assert set(result.outputs) == set(stack.config.pids), (
-        f"n={n} coalesce={coalesce}: not every process output a coin bit"
+        f"n={n} coalesce={coalesce} svec={svec}: "
+        "not every process output a coin bit"
     )
     return result
 

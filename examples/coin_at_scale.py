@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Coin at scale: flip the SVSS shunning common coin at n = 10.
+
+One common-coin invocation runs n² = 100 concurrent per-slot SVSS
+sharings (each fanning out MW-SVSS sub-sessions), whose uncoalesced
+per-session traffic is ~105M logical messages at n = 10 — past the
+simulator's 50M-event livelock guard, i.e. unrunnable before semantic
+aggregation.  With session-vector messages (``svec=True``, one
+``("svec", ...)`` message per (step, dealer-group) instead of n
+per-session messages) plus wire coalescing (``coalesce=True``, one
+envelope per (src, dst) pair per step) the same invocation is ~10.5M
+logical messages on ~850k events and completes in minutes, with
+bit-identical coin outputs.
+
+Run:  python examples/coin_at_scale.py [n]   (default n = 10)
+"""
+
+import sys
+import time
+
+from repro import SystemConfig
+from repro.core.api import flip_common_coin
+from repro.sim.scheduler import FifoScheduler
+from repro.sim.tracing import TRACE_OFF
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    config = SystemConfig(n=n, seed=7)
+    print(f"flipping the SVSS common coin: n={n}, t={config.t}, "
+          "svec+coalesce on")
+    print("(uncoalesced per-session baseline at n=10: ~105M logical "
+          "messages, > the 50M-event guard)")
+
+    start = time.perf_counter()
+    result, stack = flip_common_coin(
+        config,
+        scheduler=FifoScheduler(),
+        trace_level=TRACE_OFF,
+        svec=True,
+        coalesce=True,
+    )
+    wall = time.perf_counter() - start
+
+    bits = sorted(set(result.outputs.values()))
+    print()
+    print(f"coin output        : {bits} at all {len(result.outputs)} processes"
+          f" ({'unanimous' if len(bits) == 1 else 'split'})")
+    print(f"wall-clock         : {wall:.1f}s")
+    print(f"events dispatched  : {result.events_dispatched:,}")
+    print(f"logical messages   : {result.logical_messages:,}")
+    print(f"  slot-vectors     : {result.svec_packed:,} "
+          f"(folding {result.svec_slots:,} per-session messages, "
+          f"~{result.svec_slots / max(1, result.svec_packed):.1f} slots each)")
+    print(f"  envelopes        : {result.envelopes_pushed:,} "
+          f"(carrying {result.payloads_coalesced:,} logical messages)")
+    print(f"logical msgs/event : {result.logical_messages / result.events_dispatched:.1f}")
+    print(f"throughput         : {result.logical_messages / wall:,.0f} "
+          "logical messages/s")
+
+
+if __name__ == "__main__":
+    main()

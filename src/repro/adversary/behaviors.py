@@ -24,6 +24,16 @@ or not coalescing is on.  (A byzantine process may of course *forge* an
 ``("env", ...)`` payload through its filter; receivers unpack it with the
 same per-sub-payload validation as real envelopes, which grants no power
 beyond sending the sub-payloads individually.)
+
+Session-vector contract (the PR-4 contract extended one layer up): a host
+carrying *any* behaviour or outbound filter never packs ``("svec", ...)``
+slot-vectors — its per-slot coin session messages travel per session, so
+mutators and crash budgets keep acting on logical **slot** messages, and
+the deviation hooks below (which run inside the per-session instances,
+before any packing) stay per-slot by construction.  Forged svec payloads
+are unpacked with full per-slot validation (see
+:mod:`repro.core.vectormux`), granting nothing beyond sending the slots
+individually.
 """
 
 from __future__ import annotations

@@ -27,6 +27,14 @@ envelope by its dominant vote sub-payload and delays it as a unit;
 :class:`EnvelopeSplittingScheduler` instead refuses shared delivery
 outright — every buffered message is scheduled individually, restoring the
 full per-message adversarial surface at the uncoalesced event cost.
+
+Session-vector interplay: on a ``Runtime(svec=True)`` one logical message
+may be a ``("svec", ...)`` slot-vector carrying a whole coin batch's
+per-session messages (see :mod:`repro.core.vectormux`).
+:class:`SlotSplittingScheduler` vetoes that packing the same way —
+``splits_slots`` makes the VSS layer send every slot message per session,
+restoring exact per-session adversarial power (and, under a fixed-delay
+base, the bit-identical ``svec=False`` run).
 """
 
 from __future__ import annotations
@@ -139,6 +147,9 @@ class EnvelopeSplittingScheduler(Scheduler):
 
     def __init__(self, base: Scheduler):
         self._base = base
+        # Inherit the inner policy's slot stance so the composed wrapper
+        # order does not matter.
+        self.splits_slots = bool(getattr(base, "splits_slots", False))
 
     def delay(self, src: int, dst: int, payload: object, now: float) -> float:
         return self._base.delay(src, dst, payload, now)
@@ -148,3 +159,35 @@ class EnvelopeSplittingScheduler(Scheduler):
 
     def describe(self) -> str:
         return f"Split({self._base.describe()})"
+
+
+class SlotSplittingScheduler(Scheduler):
+    """Adversarial wrapper that vetoes session-vector packing entirely.
+
+    The slot-vector analogue of :class:`EnvelopeSplittingScheduler`, one
+    layer up: with ``splits_slots`` set the VSS layer never folds a coin's
+    per-slot session messages into ``("svec", ...)`` vectors — every slot
+    message is sent, scheduled and delivered per session, so an adversary
+    wrapping any base policy keeps exactly the per-session power it had
+    before aggregation existed.  Under a fixed-delay base this replays the
+    ``svec=False`` run bit for bit (``tests/test_svec.py`` pins the golden
+    equality).  Compose with :class:`EnvelopeSplittingScheduler` to strip
+    both transports at once.
+    """
+
+    splits_slots = True
+
+    def __init__(self, base: Scheduler):
+        self._base = base
+        # Inherit the inner policy's envelope stance so the composed
+        # wrapper order does not matter.
+        self.splits_envelopes = bool(getattr(base, "splits_envelopes", False))
+
+    def delay(self, src: int, dst: int, payload: object, now: float) -> float:
+        return self._base.delay(src, dst, payload, now)
+
+    def fixed_delay(self) -> float | None:
+        return self._base.fixed_delay()
+
+    def describe(self) -> str:
+        return f"SlotSplit({self._base.describe()})"

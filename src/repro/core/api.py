@@ -135,6 +135,7 @@ def build_stack(
     engine: str = ENGINE_FLAT,
     instances: int | Sequence[object] = 1,
     coalesce: bool = False,
+    svec: bool = False,
 ) -> Stack:
     """Assemble runtime, broadcast and (optionally) VSS for every process.
 
@@ -158,6 +159,14 @@ def build_stack(
     (see :mod:`repro.sim.runtime`).  A pure event-count optimization —
     decisions and per-channel delivered logical-message sequences are
     unchanged under fixed-delay schedulers.
+
+    ``svec`` enables session-vector aggregation (see
+    :mod:`repro.core.vectormux`): the common coin's n² per-slot MW-SVSS
+    sessions send one ``("svec", ...)`` logical message per
+    (step, dealer-group) instead of n per-session messages, cutting the
+    coin's logical message bill ~n× while keeping coin outputs and every
+    per-session justifier bit-identical under fixed-delay schedulers.
+    Composes with ``coalesce`` (vectors still ride envelopes).
     """
     if measure_bytes and trace_level < TRACE_COUNTS:
         raise ConfigurationError(
@@ -171,6 +180,7 @@ def build_stack(
         trace_level=trace_level,
         engine=engine,
         coalesce=coalesce,
+        svec=svec,
     )
     runtime.trace.measure_bytes = measure_bytes
     broadcasts = {}
@@ -275,6 +285,19 @@ class AgreementResult:
     predicate_evals: int = 0
     envelopes_pushed: int = 0
     payloads_coalesced: int = 0
+    #: Session-vector aggregation counters: ``("svec", ...)`` messages
+    #: emitted and the per-slot messages folded into them (sweeps report
+    #: aggregation ratios from here, never from the ``Runtime``).
+    svec_packed: int = 0
+    svec_slots: int = 0
+
+    @property
+    def logical_messages(self) -> int:
+        """Logical protocol messages pushed onto the wire (envelope
+        framing removed: an envelope counts as its payloads; a slot-vector
+        counts as ONE logical message — semantic aggregation is exactly
+        what shrinks this number)."""
+        return self.messages_pushed - self.envelopes_pushed + self.payloads_coalesced
 
     @property
     def agreed(self) -> bool:
@@ -321,6 +344,7 @@ def run_byzantine_agreement(
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
     coalesce: bool = False,
+    svec: bool = False,
 ) -> AgreementResult:
     """Run one asynchronous Byzantine agreement to completion.
 
@@ -340,6 +364,7 @@ def run_byzantine_agreement(
         engine=engine,
         instances=(tag,),
         coalesce=coalesce,
+        svec=svec,
     )
     coins = _make_coins(stack, coin, instance=tag)
     input_map = _normalize_inputs(inputs, config)
@@ -390,6 +415,8 @@ def run_byzantine_agreement(
         predicate_evals=stack.runtime.predicate_evals,
         envelopes_pushed=stack.runtime.envelopes_pushed,
         payloads_coalesced=stack.runtime.payloads_coalesced,
+        svec_packed=stack.runtime.svec_packed,
+        svec_slots=stack.runtime.svec_slots,
     )
 
 
@@ -421,6 +448,13 @@ class BatchAgreementResult:
     predicate_evals: int = 0
     envelopes_pushed: int = 0
     payloads_coalesced: int = 0
+    svec_packed: int = 0
+    svec_slots: int = 0
+
+    @property
+    def logical_messages(self) -> int:
+        """See :attr:`AgreementResult.logical_messages`."""
+        return self.messages_pushed - self.envelopes_pushed + self.payloads_coalesced
 
     def __len__(self) -> int:
         return len(self.instance_ids)
@@ -457,6 +491,7 @@ def run_byzantine_agreement_batch(
     max_events: int = DEFAULT_MAX_EVENTS,
     share_coin: bool = True,
     coalesce_votes: bool = False,
+    svec: bool = False,
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
@@ -508,6 +543,7 @@ def run_byzantine_agreement_batch(
         engine=engine,
         instances=instance_ids,
         coalesce=coalesce_votes,
+        svec=svec,
     )
     input_maps = {
         iid: _normalize_inputs(rows[k], config)
@@ -611,6 +647,8 @@ def run_byzantine_agreement_batch(
         predicate_evals=stack.runtime.predicate_evals,
         envelopes_pushed=stack.runtime.envelopes_pushed,
         payloads_coalesced=stack.runtime.payloads_coalesced,
+        svec_packed=stack.runtime.svec_packed,
+        svec_slots=stack.runtime.svec_slots,
     )
 
 
@@ -778,6 +816,13 @@ class CoinResult:
     messages_pushed: int = 0
     envelopes_pushed: int = 0
     payloads_coalesced: int = 0
+    svec_packed: int = 0
+    svec_slots: int = 0
+
+    @property
+    def logical_messages(self) -> int:
+        """See :attr:`AgreementResult.logical_messages`."""
+        return self.messages_pushed - self.envelopes_pushed + self.payloads_coalesced
 
     def unanimous(self, pids: list[int]) -> bool:
         return len({self.outputs[p] for p in pids if p in self.outputs}) == 1
@@ -792,6 +837,7 @@ def flip_common_coin(
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
     coalesce: bool = False,
+    svec: bool = False,
 ) -> tuple[CoinResult, Stack]:
     """Run one full SVSS-based shunning common coin invocation."""
     config.require_optimal_resilience()
@@ -802,6 +848,7 @@ def flip_common_coin(
         trace_level=trace_level,
         engine=engine,
         coalesce=coalesce,
+        svec=svec,
     )
     coins = _make_coins(stack, "svss")
     csid = ("cc", "solo", session)
@@ -831,6 +878,8 @@ def flip_common_coin(
         messages_pushed=stack.runtime.queue.pushed_total,
         envelopes_pushed=stack.runtime.envelopes_pushed,
         payloads_coalesced=stack.runtime.payloads_coalesced,
+        svec_packed=stack.runtime.svec_packed,
+        svec_slots=stack.runtime.svec_slots,
     )
     return result, stack
 

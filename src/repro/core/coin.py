@@ -39,6 +39,14 @@ of MW-SVSS sub-sessions), whose echo/ack/confirm traffic crosses the same
 per pair, collapsing the invocation's event bill by 20–60× at small ``n``
 (``benchmarks/bench_coin.py``) with bit-identical outputs; the logical
 message count, and hence the paper's complexity claims, are unchanged.
+On a session-vector runtime (``Runtime(svec=True)``) the *logical* bill
+collapses too: all ``n`` slots of one dealer batch march in lock-step, so
+each party's per-step messages into them fold into one ``("svec", ...)``
+slot-vector per (step, dealer-group) — ~n⁴ → ~n³ logical messages, with
+coin outputs and per-session justifiers still bit-identical (the coin
+registers each invocation's session family with the VSS layer's
+:class:`~repro.core.vectormux.SessionVectorMux` at :meth:`join`, and
+claims the svec broadcast topic in its ``_wire``).
 
 The module also provides the pluggable stand-ins used by baselines and
 scaling experiments: :class:`LocalCoin` (Ben-Or/Bracha style private
@@ -55,6 +63,7 @@ from random import Random
 from repro.broadcast.manager import BroadcastManager
 from repro.core.manager import VSSManager
 from repro.core.sessions import svss_session
+from repro.core.vectormux import SVEC_TAG
 from repro.errors import ProtocolError
 from repro.sim.module import ProtocolModule
 from repro.sim.process import ProcessHost
@@ -241,6 +250,12 @@ class CommonCoinModule(ProtocolModule, CoinSource):
         self.n = self.config.n
         self.t = self.config.t
         self.subscribe(self._broadcast, "coin", self._on_rb)
+        # Session-vector wiring: slot families only exist for coin sessions,
+        # so the coin claims the "svec" broadcast topic (the matching host
+        # tag is reserved by every VSSManager at its own _wire).  Vectors
+        # are unpacked by the VSS layer's mux regardless of whether this
+        # runtime packs (a forged vector must route identically either way).
+        self.subscribe(self._broadcast, SVEC_TAG, self.vss.mux.on_rb)
 
     # ------------------------------------------------------------------
     # CoinSource interface
@@ -251,6 +266,11 @@ class CommonCoinModule(ProtocolModule, CoinSource):
             return
         session = _CoinSession(self, csid)
         self.sessions[csid] = session
+        if self.host.runtime.svec:
+            # Our n (dealer, slot) sessions — and every per-slot reply we
+            # send into peers' sessions of this invocation — may travel as
+            # slot-vectors from here on.
+            self.vss.mux.register_family(csid)
         for slot in range(1, self.n + 1):
             self.vss.register_watcher((csid, slot), _SlotWatcher(session, slot))
         rng = self.config.derive_rng("coin-secrets", csid, self.pid)

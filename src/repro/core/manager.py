@@ -22,6 +22,7 @@ from repro.core.dmm import DELAY, DISCARD, DMM
 from repro.core.mwsvss import MWSVSSInstance
 from repro.core.sessions import SessionClock, is_mw, is_svss
 from repro.core.svss import SVSSInstance
+from repro.core.vectormux import SVEC_TAG, SessionVectorMux
 from repro.errors import ProtocolError
 from repro.sim.module import ProtocolModule
 from repro.sim.process import ProcessHost
@@ -81,6 +82,11 @@ class VSSManager(ProtocolModule):
 
     MODULE_KIND = "vss"
 
+    #: Transport constraints, exposed for the session-vector mux (the whole
+    #: vector must obey the same private/RB split as per-session messages).
+    PRIVATE_KINDS = PRIVATE_KINDS
+    RB_KINDS = RB_KINDS
+
     def __init__(self, host: ProcessHost, broadcast: BroadcastManager):
         super().__init__()
         self._broadcast = broadcast
@@ -100,6 +106,12 @@ class VSSManager(ProtocolModule):
         self.clock = SessionClock()
         self.dmm = DMM(self.pid, self.clock, on_shun=self._record_shun)
         self.register("v", self._on_private)
+        # The "svec" host tag is reserved here unconditionally (like the
+        # runtime's "env" tag) so no other module can ever claim it; the
+        # matching broadcast topic is claimed by the common coin's _wire,
+        # since slot-vector families only exist for coin sessions.
+        self.mux = SessionVectorMux(self)
+        self.register(SVEC_TAG, self.mux.on_private)
         self.subscribe(self._broadcast, "vss", self._on_rb)
 
     # ------------------------------------------------------------------
@@ -125,8 +137,26 @@ class VSSManager(ProtocolModule):
     def svss_begin_reconstruct(self, sid: tuple) -> None:
         self._ensure_svss(sid).begin_reconstruct()
 
+    def send_value(self, dst: int, sid: tuple, kind: str, body: object) -> None:
+        """Send one private per-session message (the instances' send seam).
+
+        On a session-vector runtime, per-slot coin sessions hand their
+        message to the mux instead, which folds the step's sibling slots
+        into one ``("svec", ...)`` send at end-of-step; everything else —
+        and every corrupt sender — travels as a plain per-session message.
+        """
+        if not self.mux.offer_private(dst, sid, kind, body):
+            self.host.send(dst, ("v", sid, kind, body), "vss")
+
     def rb_broadcast(self, sid: tuple, kind: str, body: object) -> None:
-        """RB-broadcast a VSS message of this session (canonical bid)."""
+        """RB-broadcast a VSS message of this session (canonical bid).
+
+        Slot-vector aggregation applies exactly as in :meth:`send_value`;
+        folding ``n`` sibling broadcasts into one saves the whole O(n²)
+        echo cascade each of them would have cost.
+        """
+        if self.mux.offer_rb(sid, kind, body):
+            return
         bid = (self.pid, "vss", sid, kind)
         self._broadcast.broadcast(bid, ("vss", sid, kind, body))
 

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.sessions import mw_dealer, mw_moderator
 from repro.errors import ProtocolError
-from repro.poly.fastpath import interpolate_values
+from repro.poly.fastpath import evaluate_rows, interpolate_values
 from repro.poly.univariate import Polynomial, interpolate_degree_t
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -127,25 +127,24 @@ class MWSVSSInstance:
         ]
         self._deal_polys = [f] + sub
 
-        host = self.manager.host
-        corrupt_values = host.deviation("corrupt_mw_share_values")
+        mgr = self.manager
+        corrupt_values = mgr.host.deviation("corrupt_mw_share_values")
         eval_points = list(range(1, self.t + 2))
         pids = list(range(1, self.n + 1))
-        # One multi-point pass per sub-polynomial over the cached power
-        # tables; rows[l-1][j-1] == f_l(j).
-        rows = [sub[l - 1].evaluate_many(pids) for l in pids]
+        # One batched multi-point pass over all n sub-polynomials (shared
+        # power tables, one deferred reduction per cell);
+        # rows[l-1][j-1] == f_l(j).
+        rows = evaluate_rows(field, [p.coeffs for p in sub], pids)
         for j in pids:
             values = [rows[l - 1][j - 1] for l in pids]
             if corrupt_values is not None:
                 values = corrupt_values(self.sid, j, values, field.prime)
-            host.send(j, ("v", self.sid, "shl", tuple(values)), "vss")
+            mgr.send_value(j, self.sid, "shl", tuple(values))
         for l in pids:
             mon = tuple(rows[l - 1][: self.t + 1])
-            host.send(l, ("v", self.sid, "mon", mon), "vss")
-        host.send(
-            self.moderator,
-            ("v", self.sid, "mod", tuple(f.evaluate_many(eval_points))),
-            "vss",
+            mgr.send_value(l, self.sid, "mon", mon)
+        mgr.send_value(
+            self.moderator, self.sid, "mod", tuple(f.evaluate_many(eval_points))
         )
 
     def moderate(self, expected: int) -> None:
@@ -219,14 +218,14 @@ class MWSVSSInstance:
         if self._step2_done or self.share_vector is None or self.monitor_poly is None:
             return
         self._step2_done = True
-        host = self.manager.host
-        corrupt = host.deviation("corrupt_mw_confirm_value")
+        mgr = self.manager
+        corrupt = mgr.host.deviation("corrupt_mw_confirm_value")
         for l in range(1, self.n + 1):
             value = self.share_vector[l - 1]
             if corrupt is not None:
                 value = corrupt(self.sid, l, value, self.field.prime)
-            host.send(l, ("v", self.sid, "cnf", value), "vss")
-        self.manager.rb_broadcast(self.sid, "ack", None)
+            mgr.send_value(l, self.sid, "cnf", value)
+        mgr.rb_broadcast(self.sid, "ack", None)
 
     def _on_confirm(self, src: int, body: object) -> None:
         if not self.field.is_element(body) or src in self.confirm_values:
@@ -268,10 +267,8 @@ class MWSVSSInstance:
         """Step 4: broadcast ``L_j`` and send ``f̂_j(0)`` to the moderator."""
         self.L_frozen = True
         self.manager.rb_broadcast(self.sid, "L", tuple(sorted(self.L)))
-        self.manager.host.send(
-            self.moderator,
-            ("v", self.sid, "ms", self.monitor_poly(0)),
-            "vss",
+        self.manager.send_value(
+            self.moderator, self.sid, "ms", self.monitor_poly(0)
         )
 
     # -- moderator ---------------------------------------------------------

@@ -14,9 +14,28 @@ Session ids here are hashable tuples:
   ``f(moderator, dealer)``).
 * SVSS: ``("svss", tag, dealer)`` — ``tag`` is the caller's context (a
   counter, or ``(coin_session, slot)`` inside the common coin).
+
+Slot-vector groups
+------------------
+The common coin runs one SVSS session per ``(dealer, slot)`` with
+``slot ∈ 1..n`` and tag ``(csid, slot)``; every session of one dealer
+follows the same step schedule, so the session-vector transport
+(:mod:`repro.core.vectormux`) aggregates their messages per *group* — the
+session id with the slot stripped out:
+
+* SVSS ``("svss", (csid, slot), d)``          ↔ group ``("s", csid, d)``
+* MW ``("mw", ("svss", (csid, slot), d), j, l, ms)``
+                                              ↔ group ``("m", csid, d, j, l, ms)``
+
+:func:`svec_split` maps a session id to its ``(group, slot)`` (for
+*registered* coin families only, so ordinary tags like
+``("solo-svss", 0)`` are never mistaken for a slot), and
+:func:`svec_sid` inverts the mapping on the receive side.
 """
 
 from __future__ import annotations
+
+from collections.abc import Container
 
 MW = "mw"
 SVSS = "svss"
@@ -48,6 +67,59 @@ def is_mw(sid: tuple) -> bool:
 
 def is_svss(sid: tuple) -> bool:
     return isinstance(sid, tuple) and len(sid) == 3 and sid[0] == SVSS
+
+
+# -- slot-vector groups (see module docstring) -------------------------------
+
+#: group-kind markers: "s" = SVSS-level group, "m" = MW-level group.
+SVEC_SVSS = "s"
+SVEC_MW = "m"
+
+
+def svec_split(sid: tuple, families: Container) -> tuple[tuple, object] | None:
+    """``(group, slot)`` when ``sid`` belongs to a registered slot family.
+
+    ``families`` holds the coin session ids whose per-slot sessions may be
+    vectorized; anything else (solo sessions, plain counters) returns None
+    and travels per session.  Only called on locally built session ids, so
+    no defensive shape validation is needed beyond the family lookup.
+    """
+    if sid[0] == SVSS:
+        tag = sid[1]
+        if type(tag) is tuple and len(tag) == 2 and tag[0] in families:
+            return (SVEC_SVSS, tag[0], sid[2]), tag[1]
+    elif sid[0] == MW:
+        parent = sid[1]
+        if type(parent) is tuple and len(parent) == 3 and parent[0] == SVSS:
+            tag = parent[1]
+            if type(tag) is tuple and len(tag) == 2 and tag[0] in families:
+                return (SVEC_MW, tag[0], parent[2], sid[2], sid[3], sid[4]), tag[1]
+    return None
+
+
+def svec_sid(group: tuple, slot: object) -> tuple:
+    """Rebuild the per-slot session id of ``group`` (inverse of
+    :func:`svec_split`); the caller validated the group shape."""
+    if group[0] == SVEC_SVSS:
+        return (SVSS, (group[1], slot), group[2])
+    return (MW, (SVSS, (group[1], slot), group[2]), group[3], group[4], group[5])
+
+
+def svec_group_wellformed(group: object) -> bool:
+    """Shape check for a *network-supplied* group id.
+
+    Only the structure the rebuild needs is validated here — the per-slot
+    session ids it produces go through the ordinary ``VSSManager`` session
+    validation, so a forged group grants nothing beyond forging the
+    per-slot messages directly.
+    """
+    if type(group) is not tuple or not group:
+        return False
+    if group[0] == SVEC_SVSS:
+        return len(group) == 3
+    if group[0] == SVEC_MW:
+        return len(group) == 6 and group[5] in ("md", "dm")
+    return False
 
 
 class SessionClock:

@@ -23,7 +23,7 @@ from repro.core.mwsvss import BOTTOM
 from repro.core.sessions import mw_session, svss_dealer
 from repro.errors import ProtocolError
 from repro.poly.bivariate import BivariatePolynomial
-from repro.poly.fastpath import interpolate_values
+from repro.poly.fastpath import interpolate_values_rows
 from repro.poly.univariate import Polynomial, interpolate_degree_t
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,35 +92,35 @@ class SVSSInstance:
             raise ProtocolError(f"share already initiated for {self.sid}")
         rng = self.manager.config.derive_rng("svss-deal", self.sid)
         self._bivar = BivariatePolynomial.random(self.field, self.t, rng, secret=secret)
-        host = self.manager.host
-        corrupt = host.deviation("corrupt_svss_rows")
+        corrupt = self.manager.host.deviation("corrupt_svss_rows")
+        mgr = self.manager
         for j in range(1, self.n + 1):
             row_vals, col_vals = self._share_rows(j)
             if corrupt is not None:
                 row_vals, col_vals = corrupt(
                     self.sid, j, list(row_vals), list(col_vals), self.field.prime
                 )
-            host.send(
-                j,
-                ("v", self.sid, "rows", (tuple(row_vals), tuple(col_vals))),
-                "vss",
-            )
+            mgr.send_value(j, self.sid, "rows", (tuple(row_vals), tuple(col_vals)))
 
     def _share_rows(self, j: int) -> tuple[tuple, tuple]:
         """Honest row/column evaluation points for recipient ``j``.
 
-        Memoized per recipient: building a row costs ``t + 1`` polynomial
-        evaluations over the share matrix, so any repeat request (a resend,
-        the dealer consuming its own rows) reuses the cached tuples instead
-        of re-walking the matrix.
+        All ``n`` recipients' rows and columns are built on first request
+        in two batched multi-point passes over the share matrix
+        (:meth:`~repro.poly.bivariate.BivariatePolynomial.row_values`), so
+        the per-recipient cost of a full distribution is one cache lookup
+        and repeat requests (a resend, the dealer consuming its own rows)
+        never re-walk the matrix.
         """
         cached = self._row_cache.get(j)
         if cached is None:
             xs = range(1, self.t + 2)
-            g_j = self._bivar.row(j)
-            h_j = self._bivar.column(j)
-            cached = (tuple(g_j.evaluate_many(xs)), tuple(h_j.evaluate_many(xs)))
-            self._row_cache[j] = cached
+            pids = range(1, self.n + 1)
+            g_rows = self._bivar.row_values(pids, xs)
+            h_rows = self._bivar.column_values(pids, xs)
+            for pid, g_vals, h_vals in zip(pids, g_rows, h_rows):
+                self._row_cache.setdefault(pid, (tuple(g_vals), tuple(h_vals)))
+            cached = self._row_cache[j]
         return cached
 
     def begin_reconstruct(self) -> None:
@@ -154,9 +154,10 @@ class SVSSInstance:
             or not all(self._is_value_tuple(part) for part in body)
         ):
             return
+        # One interpolation pass over the shared cached basis installs
+        # both halves of the received vector.
         xs = range(1, self.t + 2)
-        self.g = interpolate_values(self.field, xs, body[0])
-        self.h = interpolate_values(self.field, xs, body[1])
+        self.g, self.h = interpolate_values_rows(self.field, xs, body)
         self._participate()
 
     def _participate(self) -> None:

@@ -12,7 +12,7 @@ from random import Random
 
 from repro.errors import PolynomialError
 from repro.field.gf import Field
-from repro.poly.fastpath import lagrange_basis, power_table
+from repro.poly.fastpath import evaluate_rows, lagrange_basis, power_table
 from repro.poly.univariate import Polynomial
 
 
@@ -97,6 +97,30 @@ class BivariatePolynomial:
                 total += c * y_pow
             out[i] = total % prime
         return Polynomial(self.field, out)
+
+    def row_values(
+        self, js: Sequence[int], xs: Sequence[int]
+    ) -> list[list[int]]:
+        """``g_j(x) = f(j, x)`` for every ``j`` in ``js`` and ``x`` in
+        ``xs``, in two batched passes.
+
+        The SVSS dealer's whole share distribution — all ``n`` recipients'
+        rows over the ``t + 1`` evaluation grid — is one call: the row
+        coefficient vectors come from :meth:`row` (the single source of
+        the orientation convention), then one
+        :func:`~repro.poly.fastpath.evaluate_rows` matrix pass evaluates
+        them all.  Bit-identical to ``self.row(j).evaluate_many(xs)``.
+        """
+        coeff_rows = [self.row(j).coeffs for j in js]
+        return evaluate_rows(self.field, coeff_rows, xs)
+
+    def column_values(
+        self, js: Sequence[int], xs: Sequence[int]
+    ) -> list[list[int]]:
+        """``h_j(x) = f(x, j)`` for every ``j`` in ``js`` and ``x`` in
+        ``xs`` — the column counterpart of :meth:`row_values`."""
+        coeff_rows = [self.column(j).coeffs for j in js]
+        return evaluate_rows(self.field, coeff_rows, xs)
 
     # -- algebra ----------------------------------------------------------------
     def __add__(self, other: "BivariatePolynomial") -> "BivariatePolynomial":

@@ -49,7 +49,9 @@ __all__ = [
     "LagrangeBasis",
     "batch_inverse",
     "evaluate_many",
+    "evaluate_rows",
     "interpolate_values",
+    "interpolate_values_rows",
     "lagrange_basis",
     "power_table",
 ]
@@ -135,6 +137,39 @@ def evaluate_many(
         for c, p in zip(coeffs, powers):
             total += c * p
         out.append(total % prime)
+    return out
+
+
+def evaluate_rows(
+    field: Field, coeff_rows: Sequence[Sequence[int]], xs: Sequence[int]
+) -> list[list[int]]:
+    """Evaluate many polynomials at the same points in one batched pass.
+
+    The vectorized share-row primitive: a dealer distributing ``k``
+    polynomials over the same evaluation grid (all sub-polynomials of one
+    MW-SVSS deal, all rows of one bivariate share matrix, all slots of one
+    coin batch) fetches each point's power chain *once* and runs one
+    deferred-reduction dot product per ``(row, point)`` cell.  Result
+    ``out[i][j] == coeff_rows[i]`` evaluated at ``xs[j]``, bit-identical
+    to ``evaluate_many`` row by row.
+    """
+    prime = field.prime
+    count = 0
+    for row in coeff_rows:
+        if len(row) > count:
+            count = len(row)
+    if count == 0:
+        return [[0 for _ in xs] for _ in coeff_rows]
+    tables = [power_table(field, x % prime).up_to(count) for x in xs]
+    out = []
+    for coeffs in coeff_rows:
+        row_out = []
+        for powers in tables:
+            total = 0
+            for c, p in zip(coeffs, powers):
+                total += c * p
+            row_out.append(total % prime)
+        out.append(row_out)
     return out
 
 
@@ -235,6 +270,20 @@ class LagrangeBasis:
             for k in range(m):
                 out[k] += y * row[k]
         return [v % prime for v in out]
+
+    def interpolate_rows(
+        self, ys_rows: Sequence[Sequence[int]]
+    ) -> list[list[int]]:
+        """Coefficient vectors of many interpolants over this node set.
+
+        One basis serves the whole batch: the rows (whose one-time
+        construction amortized its inversions through
+        :func:`batch_inverse`) are reused for every value row, so the
+        per-row cost is the plain matrix–vector product of
+        :meth:`interpolate_coeffs` with no per-row cache lookups or
+        validation.
+        """
+        return [self.interpolate_coeffs(ys) for ys in ys_rows]
 
     def evaluate(self, ys: Sequence[int], x: int) -> int:
         """Evaluate the interpolant at ``x`` via the barycentric form,
@@ -363,6 +412,24 @@ def interpolate_values(
         _polynomial_cls = Polynomial
     basis = lagrange_basis(field, xs)
     return _polynomial_cls(field, basis.interpolate_coeffs(ys))
+
+
+def interpolate_values_rows(
+    field: Field, xs: Sequence[int], ys_rows: Sequence[Sequence[int]]
+) -> list["Polynomial"]:
+    """Batch variant of :func:`interpolate_values`: one basis lookup
+    (validation and cache hit paid once) serves every value row over the
+    same node set — the received-vector check path of the SVSS/MW-SVSS
+    verifiers."""
+    global _polynomial_cls
+    if _polynomial_cls is None:
+        from repro.poly.univariate import Polynomial
+
+        _polynomial_cls = Polynomial
+    basis = lagrange_basis(field, xs)
+    return [
+        _polynomial_cls(field, coeffs) for coeffs in basis.interpolate_rows(ys_rows)
+    ]
 
 
 def clear_caches() -> None:

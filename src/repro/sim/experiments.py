@@ -119,7 +119,10 @@ class Scenario:
     ``coalesce`` enables wire-level message coalescing (one envelope event
     per (src, dst) pair per dispatch step; for batched scenarios this is
     the ``coalesce_votes`` axis — all instances' votes per (round, phase)
-    share envelopes).
+    share envelopes).  ``svec`` enables session-vector aggregation (the
+    SVSS coin's per-slot sessions send one slot-vector message per
+    (step, dealer-group) — see :mod:`repro.core.vectormux`); records carry
+    the aggregation counters either way.
     """
 
     n: int
@@ -135,6 +138,7 @@ class Scenario:
     batch: int = 1
     share_coin: bool = True
     coalesce: bool = False
+    svec: bool = False
 
     def validate(self) -> None:
         if self.batch < 1:
@@ -186,6 +190,14 @@ class RunRecord:
     shun_pairs: int
     wall_seconds: float
     decided_instances: int = 1
+    #: Transport-aggregation counters, surfaced straight off the result
+    #: dataclasses so sweeps report envelope/slot-vector ratios without
+    #: reaching into the ``Runtime``.
+    envelopes_pushed: int = 0
+    payloads_coalesced: int = 0
+    svec_packed: int = 0
+    svec_slots: int = 0
+    logical_messages: int = 0
 
     @property
     def decisions_per_wall_second(self) -> float:
@@ -193,6 +205,20 @@ class RunRecord:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.decided_instances / self.wall_seconds
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Logical messages per wire event (>= 1; 1.0 = no coalescing)."""
+        if self.events_dispatched <= 0:
+            return 1.0
+        return self.logical_messages / self.events_dispatched
+
+    @property
+    def svec_ratio(self) -> float:
+        """Per-slot messages folded per emitted slot-vector (0 = none)."""
+        if self.svec_packed <= 0:
+            return 0.0
+        return self.svec_slots / self.svec_packed
 
 
 def scenario_matrix(
@@ -256,6 +282,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
             max_events=scenario.max_events,
             share_coin=scenario.share_coin,
             coalesce_votes=scenario.coalesce,
+            svec=scenario.svec,
             trace_level=scenario.trace_level,
             engine=scenario.engine,
         )
@@ -275,6 +302,11 @@ def run_scenario(scenario: Scenario) -> RunRecord:
             shun_pairs=len(batch.trace.shun_pairs()),
             wall_seconds=wall,
             decided_instances=batch.decided_instances,
+            envelopes_pushed=batch.envelopes_pushed,
+            payloads_coalesced=batch.payloads_coalesced,
+            svec_packed=batch.svec_packed,
+            svec_slots=batch.svec_slots,
+            logical_messages=batch.logical_messages,
         )
     result = run_byzantine_agreement(
         INPUT_PATTERNS[scenario.inputs](config),
@@ -287,6 +319,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
         trace_level=scenario.trace_level,
         engine=scenario.engine,
         coalesce=scenario.coalesce,
+        svec=scenario.svec,
     )
     wall = time.perf_counter() - start
     return RunRecord(
@@ -303,6 +336,11 @@ def run_scenario(scenario: Scenario) -> RunRecord:
         shun_pairs=len(result.trace.shun_pairs()),
         wall_seconds=wall,
         decided_instances=1 if result.agreed else 0,
+        envelopes_pushed=result.envelopes_pushed,
+        payloads_coalesced=result.payloads_coalesced,
+        svec_packed=result.svec_packed,
+        svec_slots=result.svec_slots,
+        logical_messages=result.logical_messages,
     )
 
 

@@ -23,7 +23,10 @@ OutboundFilter = Callable[[int, tuple], "tuple | None | list[tuple]"]
 #: :meth:`~repro.sim.runtime.Runtime.transmit`): the payload is
 #: ``("env", (sub_payload, ...))`` where every sub-payload is one complete
 #: logical message in original send order.  The tag is claimed by every
-#: host at construction, so protocol modules can never register it.
+#: host at construction, so protocol modules can never register it.  (The
+#: session-vector transport reserves ``"svec"`` the same way, one layer
+#: up: every ``VSSManager`` claims it at wire time — see
+#: :mod:`repro.core.vectormux`.)
 ENVELOPE_TAG = "env"
 
 #: Cap on live instances sharing one ``(host, tag)`` slot table.  Slots are

@@ -54,6 +54,18 @@ effect).  Distinct conversations may regroup *within one simultaneity
 bucket* (envelopes merge events that delivered back-to-back at the same
 timestamp) — the protocol's state machines are per-session, so this is
 framing, not reordering.
+
+Session-vector aggregation (``svec=True``): one layer up from the
+envelope transport, the VSS layer packs the common coin's per-slot
+session messages into ``("svec", ...)`` slot-vectors — one *logical*
+message per (step, dealer-group) instead of n per-session messages (see
+:mod:`repro.core.vectormux`).  The runtime's part is the step window:
+``svec_buffering`` is open while an event is dispatched (or a driver-side
+:meth:`coalescing_step` is active), dirty muxes register via
+:meth:`svec_defer`, and the end-of-step flush runs them *before* the
+envelope flush so vectors still coalesce onto envelopes.  A
+``splits_slots`` scheduler vetoes the packing outright.  Counters:
+``svec_packed`` / ``svec_slots``.
 """
 
 from __future__ import annotations
@@ -91,6 +103,7 @@ class Runtime:
         trace_level: int = TRACE_FULL,
         engine: str = ENGINE_FLAT,
         coalesce: bool = False,
+        svec: bool = False,
     ):
         if engine not in ENGINES:
             raise SimulationError(
@@ -141,6 +154,25 @@ class Runtime:
         #: Envelope events pushed / logical messages that rode inside them.
         self.envelopes_pushed = 0
         self.payloads_coalesced = 0
+        #: Session-vector aggregation (see :mod:`repro.core.vectormux`):
+        #: when on, the VSS layer packs the coin's per-slot session
+        #: messages into one ``("svec", ...)`` logical message per
+        #: (step, dealer-group, kind).  A ``splits_slots`` scheduler
+        #: (:class:`repro.adversary.schedulers.SlotSplittingScheduler`)
+        #: vetoes the packing outright, replaying the per-session wire
+        #: stream bit for bit.
+        self.svec = bool(svec) and not bool(
+            getattr(self.scheduler, "splits_slots", False)
+        )
+        #: True while a dispatch step (or a driver-side
+        #: :meth:`coalescing_step`) is open and session-vector muxes may
+        #: buffer; outside a step, per-slot sends travel plain.
+        self.svec_buffering = False
+        #: Muxes holding buffered slot messages for the current step.
+        self._svec_pending: list = []
+        #: Slot-vector messages emitted / per-slot messages folded into them.
+        self.svec_packed = 0
+        self.svec_slots = 0
         #: Events dispatched over the runtime's lifetime (always counted,
         #: independent of the trace level).
         self.events_dispatched = 0
@@ -313,6 +345,23 @@ class Runtime:
             # re-pushed by a later flush if the caller swallows the error.
             outbox.clear()
 
+    # -- session-vector flushing ----------------------------------------------
+    def svec_defer(self, mux) -> None:
+        """A mux buffered its first slot message of this step; flush it at
+        end-of-step (called by :class:`~repro.core.vectormux.SessionVectorMux`)."""
+        self._svec_pending.append(mux)
+
+    def _flush_svec(self) -> None:
+        """Drain every dirty mux, in defer order (driver loops run pids
+        ascending, so flushes stay source-major).  Mux flushes only push
+        onto the wire — they can buffer nothing new — and they run *before*
+        the envelope flush, so svec messages still coalesce onto envelopes
+        when both transports are on."""
+        pending = self._svec_pending
+        self._svec_pending = []
+        for mux in pending:
+            mux.flush()
+
     @contextmanager
     def coalescing_step(self):
         """Treat enclosed *driver-side* sends as one dispatch step.
@@ -326,20 +375,28 @@ class Runtime:
         emits the K responses inside that single step, so the coalescing is
         self-sustaining.  Callers must emit in source-major order (all of
         one sender's messages before the next sender's) if they rely on the
-        bit-identical-sequence guarantee.  No-op when coalescing is off;
-        do not use while the event loop is running.
+        bit-identical-sequence guarantee.  The same window opens the
+        session-vector muxes (``svec=True``), so a driver loop's per-slot
+        coin sends leave as slot-vectors too.  No-op when both transports
+        are off; do not use while the event loop is running.
         """
-        if not self.coalesce:
+        if not self.coalesce and not self.svec:
             yield
             return
-        self._buffering = True
+        self._buffering = self.coalesce
+        self.svec_buffering = self.svec
         try:
             yield
         finally:
             # Flush inside the finally: if the driver loop raised partway,
             # the messages it sent before the error still go out (exactly
             # what the uncoalesced run would have pushed already) instead
-            # of leaking into a later dispatch step's flush.
+            # of leaking into a later dispatch step's flush.  Slot-vectors
+            # flush first, while wire buffering is still on, so they join
+            # the step's envelopes like any other send.
+            self.svec_buffering = False
+            if self._svec_pending:
+                self._flush_svec()
             self._buffering = False
             if self._outbox:
                 self._flush_outbox()
@@ -354,8 +411,11 @@ class Runtime:
         time, _, dst, src, payload = self.queue.pop()
         self.now = time
         coalescing = self.coalesce
+        svec = self.svec
         if coalescing:
             self._buffering = True
+        if svec:
+            self.svec_buffering = True
         try:
             table = self._tables[dst]
             if table is None:
@@ -367,6 +427,13 @@ class Runtime:
                     if handler is not None:
                         handler(src, payload)
         finally:
+            # Slot-vectors flush before wire buffering is cleared, so they
+            # join the step's envelopes (keeping the legacy engine's
+            # composition identical to the flat loop's).
+            if svec:
+                self.svec_buffering = False
+                if self._svec_pending:
+                    self._flush_svec()
             if coalescing:
                 self._buffering = False
         if coalescing and self._outbox:
@@ -458,10 +525,14 @@ class Runtime:
         check = predicate is not None
         # Coalescing buffers sends for the whole loop (driver code cannot
         # run between events) and flushes after every dispatch, which is
-        # observably identical to per-step buffering.
+        # observably identical to per-step buffering.  The session-vector
+        # window opens the same way.
         coalescing = self.coalesce
         if coalescing:
             self._buffering = True
+        svec = self.svec
+        if svec:
+            self.svec_buffering = True
         # The caller evaluated the predicate before entering, so only a
         # version moved *after* this point warrants a re-evaluation.
         last_version = self._state_version
@@ -496,6 +567,8 @@ class Runtime:
                                     handler(src, payload)
                         else:
                             hosts_seq[dst].deliver(src, payload)
+                        if svec and self._svec_pending:
+                            self._flush_svec()
                         if coalescing and self._outbox:
                             self._flush_outbox()
                         if check:
@@ -539,6 +612,8 @@ class Runtime:
                                 handler(src, payload)
                     else:
                         hosts_seq[dst].deliver(src, payload)
+                    if svec and self._svec_pending:
+                        self._flush_svec()
                     if coalescing and self._outbox:
                         self._flush_outbox()
                     if check:
@@ -551,6 +626,8 @@ class Runtime:
         finally:
             if coalescing:
                 self._buffering = False
+            if svec:
+                self.svec_buffering = False
             self.events_dispatched += dispatched
             if trace.level:
                 trace.events_dispatched = self.events_dispatched

@@ -37,6 +37,14 @@ class Scheduler:
     #: own queue event (the envelope-splitting adversary path).
     splits_envelopes: bool = False
 
+    #: When True the VSS layer never packs session-vector (``"svec"``)
+    #: messages under this scheduler: every per-slot coin session message
+    #: travels — and is scheduled — per session, restoring the exact
+    #: pre-aggregation adversarial surface (see
+    #: ``repro.adversary.schedulers.SlotSplittingScheduler`` and
+    #: :mod:`repro.core.vectormux`).
+    splits_slots: bool = False
+
     def delay(self, src: int, dst: int, payload: object, now: float) -> float:
         return 1.0
 
