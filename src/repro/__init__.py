@@ -61,6 +61,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.protocols import cr_coin, run_benor
+from repro.sim.monitor import InvariantMonitor, InvariantViolation
 
 __version__ = "1.0.0"
 
@@ -73,6 +74,8 @@ __all__ = [
     "ConfigurationError",
     "DeadlockError",
     "FieldError",
+    "InvariantMonitor",
+    "InvariantViolation",
     "PolynomialError",
     "ProtocolError",
     "ProtocolModule",

@@ -5,45 +5,60 @@ from repro.adversary.behaviors import (
     BiasedCoinBehavior,
     ByzantineBehavior,
     CrashBehavior,
+    CrashRecoveryBehavior,
     EquivocatingDealerBehavior,
     LyingConfirmerBehavior,
     LyingReconstructorBehavior,
     MutatingBehavior,
     SilentBehavior,
+    SlotPoisonerBehavior,
 )
 from repro.adversary.schedulers import (
+    CoinRevealEclipseScheduler,
     EnvelopeSplittingScheduler,
+    SlotSplittingScheduler,
     VoteBalancingScheduler,
 )
 from repro.adversary.controller import (
     BEHAVIOR_KINDS,
     Adversary,
     crash_adversary,
+    crash_recovery_adversary,
     equivocating_adversary,
     mutating_adversary,
     no_adversary,
     random_adversary,
     silent_adversary,
+    slot_poison_adversary,
 )
+from repro.adversary.adaptive import POLICIES, AdaptiveAdversary
 
 __all__ = [
     "ABALiarBehavior",
+    "AdaptiveAdversary",
     "Adversary",
     "BEHAVIOR_KINDS",
     "BiasedCoinBehavior",
     "ByzantineBehavior",
+    "CoinRevealEclipseScheduler",
     "CrashBehavior",
+    "CrashRecoveryBehavior",
     "EnvelopeSplittingScheduler",
     "EquivocatingDealerBehavior",
     "LyingConfirmerBehavior",
     "LyingReconstructorBehavior",
     "MutatingBehavior",
+    "POLICIES",
     "SilentBehavior",
+    "SlotPoisonerBehavior",
+    "SlotSplittingScheduler",
     "VoteBalancingScheduler",
     "crash_adversary",
+    "crash_recovery_adversary",
     "equivocating_adversary",
     "mutating_adversary",
     "no_adversary",
     "random_adversary",
     "silent_adversary",
+    "slot_poison_adversary",
 ]

@@ -255,3 +255,199 @@ class ABALiarBehavior(ByzantineBehavior):
 
     def coin_secret(self, session: object, slot: int, honest: int, u: int) -> int:
         return self.rng.randrange(u)
+
+
+class SlotPoisonerBehavior(ByzantineBehavior):
+    """Corrupt exactly one coin *slot* per outbound vector window.
+
+    The aggregation-aware fault injector: the common coin runs one session
+    per ``(dealer, slot)`` with ``slot ∈ 1..n``, and the session-vector
+    transport would pack each dealer-group's per-slot messages into one
+    ``("svec", ...)`` vector.  A corrupt host never packs (PR-5 contract),
+    so this behaviour attacks the *logical* slot stream instead: within
+    every window of ``n`` consecutive slots per (dst, group, kind) it
+    poisons the session body of exactly one slot — a rotating target by
+    default, or ``fixed_slot`` for the composition tests — and passes every
+    sibling slot through untouched.  The per-slot isolation claim of the
+    aggregation layers is exactly what this probes: a poisoned slot must
+    cost (at most) its own session, never its vector siblings.
+
+    Poisoning rewrites one int leaf of the body to a random field element,
+    preserving the routing prefix (tag, session id, kind) so the lie lands
+    in the right session instead of being dropped at routing.
+    """
+
+    def __init__(
+        self, rng: Random, fixed_slot: int | None = None, start_slot: int = 1
+    ):
+        if fixed_slot is not None and fixed_slot < 1:
+            raise ValueError("fixed_slot must be a 1-based slot index")
+        if start_slot < 1:
+            raise ValueError("start_slot must be a 1-based slot index")
+        self.rng = rng
+        self.fixed_slot = fixed_slot
+        self.start_slot = start_slot
+        self._prime: int | None = None
+        self._n: int | None = None
+        self.poisoned = 0
+        self.passed = 0
+
+    @staticmethod
+    def _slot_and_group(sid: object) -> tuple[int, tuple] | None:
+        """``(slot, dealer-group)`` for coin-slot session ids, else None.
+
+        Mirrors :func:`repro.core.sessions.svec_split` structurally but
+        needs no family registry: the sender only poisons its *own*
+        locally built session ids, whose shapes are fixed.
+        """
+        if type(sid) is not tuple:
+            return None
+        if len(sid) == 3 and sid[0] == "svss":
+            tag = sid[1]
+            if type(tag) is tuple and len(tag) == 2 and type(tag[1]) is int:
+                return tag[1], ("s", tag[0], sid[2])
+        elif (
+            len(sid) == 5
+            and sid[0] == "mw"
+            and type(sid[1]) is tuple
+            and len(sid[1]) == 3
+            and sid[1][0] == "svss"
+        ):
+            tag = sid[1][1]
+            if type(tag) is tuple and len(tag) == 2 and type(tag[1]) is int:
+                return tag[1], ("m", tag[0], sid[1][2], sid[2], sid[3], sid[4])
+        return None
+
+    def _poison(self, body: object) -> object:
+        """Rewrite one rng-chosen int leaf of ``body`` to a *different*
+        random field element (bools and routing strings untouched)."""
+        leaves: list[tuple] = []
+
+        def walk(obj: object, path: tuple) -> None:
+            if isinstance(obj, bool):
+                return
+            if isinstance(obj, int):
+                leaves.append(path)
+            elif isinstance(obj, (tuple, list)):
+                for idx, item in enumerate(obj):
+                    walk(item, path + (idx,))
+
+        walk(body, ())
+        if not leaves:
+            return body
+        target = leaves[self.rng.randrange(len(leaves))]
+
+        def rebuild(obj: object, path: tuple) -> object:
+            if not path:
+                poisoned = self.rng.randrange(self._prime)
+                return poisoned if poisoned != obj else (poisoned + 1) % self._prime
+            items = list(obj)
+            items[path[0]] = rebuild(items[path[0]], path[1:])
+            return tuple(items) if isinstance(obj, tuple) else items
+
+        return rebuild(body, target)
+
+    def on_install(self, host: ProcessHost) -> None:
+        self._prime = host.runtime.field.prime
+        self._n = host.runtime.config.n
+        n = self._n
+        start = self.start_slot
+        fixed = self.fixed_slot
+        #: (dst, group, kind) -> [window index, last slot seen].  Slots per
+        #: stream leave in ascending order (the coin's join loop runs slots
+        #: 1..n), so a non-increasing slot means the next vector window
+        #: began and the rotating target advances — this is what keeps the
+        #: damage at exactly one slot per window instead of trailing the
+        #: cursor across several.
+        windows: dict[tuple, list[int]] = {}
+
+        def filter_out(dst: int, payload: tuple):
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "v"
+            ):
+                return payload
+            _, sid, kind, body = payload
+            located = self._slot_and_group(sid)
+            if located is None:
+                return payload
+            slot, group = located
+            key = (dst, group, kind)
+            state = windows.get(key)
+            if state is None:
+                state = windows[key] = [0, 0]
+            if slot <= state[1]:
+                state[0] += 1
+            state[1] = slot
+            target = fixed if fixed is not None else (start - 1 + state[0]) % n + 1
+            if slot != target:
+                self.passed += 1
+                return payload
+            self.poisoned += 1
+            return ("v", sid, kind, self._poison(body))
+
+        host.outbound_filter = filter_out
+
+    def describe(self) -> str:
+        where = (
+            f"slot={self.fixed_slot}" if self.fixed_slot is not None else "rotating"
+        )
+        return f"SlotPoisoner({where})"
+
+
+class CrashRecoveryBehavior(ByzantineBehavior):
+    """Crash→recover→crash schedule driven by per-phase send budgets.
+
+    Phase ``k`` lets the host send ``phases[k]`` messages, then fail-stop;
+    the runtime recovers it ``downtime`` simulated-time units later (wire
+    state purged, protocol state intact — see
+    :meth:`~repro.sim.runtime.Runtime.recover`), at which point the next
+    phase budget arms.  After the last phase the host stays up for good,
+    so every schedule is degraded-but-live, never fail-stop.
+
+    One instance per host: the recovery hook the runtime looks up
+    (``on_recover``) is bound to the installed host's schedule state.
+    """
+
+    def __init__(self, phases: tuple[int, ...] = (40, 80), downtime: float = 30.0):
+        phases = tuple(phases)
+        if not phases or any(p < 1 for p in phases):
+            raise ValueError("phases must be a non-empty tuple of budgets >= 1")
+        if not (downtime > 0.0):
+            raise ValueError("downtime must be positive")
+        self.phases = phases
+        self.downtime = downtime
+        self.crashes = 0
+        self.recoveries = 0
+
+    def on_install(self, host: ProcessHost) -> None:
+        runtime = host.runtime
+        state = {"idx": 0, "remaining": self.phases[0]}
+
+        def filter_out(dst: int, payload: tuple):
+            remaining = state["remaining"]
+            if remaining is None:
+                return payload  # schedule exhausted: permanently live
+            if remaining <= 0:
+                self.crashes += 1
+                host.crashed = True
+                runtime.schedule_recovery(host.pid, runtime.now + self.downtime)
+                return None
+            state["remaining"] = remaining - 1
+            return payload
+
+        def on_recover(recovered: ProcessHost) -> None:
+            self.recoveries += 1
+            state["idx"] += 1
+            if state["idx"] < len(self.phases):
+                state["remaining"] = self.phases[state["idx"]]
+            else:
+                state["remaining"] = None
+
+        host.outbound_filter = filter_out
+        # Bound per install; the runtime's recovery path finds it by name.
+        self.on_recover = on_recover
+
+    def describe(self) -> str:
+        return f"CrashRecovery(phases={self.phases}, down={self.downtime})"

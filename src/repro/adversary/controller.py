@@ -14,11 +14,13 @@ from repro.adversary.behaviors import (
     BiasedCoinBehavior,
     ByzantineBehavior,
     CrashBehavior,
+    CrashRecoveryBehavior,
     EquivocatingDealerBehavior,
     LyingConfirmerBehavior,
     LyingReconstructorBehavior,
     MutatingBehavior,
     SilentBehavior,
+    SlotPoisonerBehavior,
 )
 from repro.config import SystemConfig
 from repro.errors import ConfigurationError
@@ -27,6 +29,16 @@ from repro.sim.runtime import Runtime
 
 class Adversary:
     """A static corruption: behaviours keyed by process id."""
+
+    #: Adaptive adversaries (``repro.adversary.adaptive``) corrupt mid-run;
+    #: runners consult this to keep their nonfaulty-set bookkeeping dynamic.
+    adaptive: bool = False
+
+    #: Reproducibility record, set by the factory that built this adversary:
+    #: a picklable tuple like ``("random", seed, ((pid, kind), ...))`` that
+    #: a :class:`~repro.sim.experiments.RunRecord` can carry and from which
+    #: the exact corruption can be rebuilt.  None for hand-built adversaries.
+    spec: tuple | None = None
 
     def __init__(self, corruptions: dict[int, ByzantineBehavior] | None = None):
         self.corruptions = dict(corruptions or {})
@@ -60,57 +72,126 @@ class Adversary:
 
 
 def no_adversary() -> Adversary:
-    return Adversary({})
+    adv = Adversary({})
+    adv.spec = ("none",)
+    return adv
 
 
 def crash_adversary(pids: list[int], after_messages: int = 0) -> Adversary:
-    return Adversary({pid: CrashBehavior(after_messages) for pid in pids})
+    adv = Adversary({pid: CrashBehavior(after_messages) for pid in pids})
+    adv.spec = ("crash", tuple(pids), after_messages)
+    return adv
 
 
 def silent_adversary(pids: list[int]) -> Adversary:
-    return Adversary({pid: SilentBehavior() for pid in pids})
+    adv = Adversary({pid: SilentBehavior() for pid in pids})
+    adv.spec = ("silent", tuple(pids))
+    return adv
 
 
 def mutating_adversary(pids: list[int], rng: Random, rate: float = 0.3) -> Adversary:
-    return Adversary(
+    adv = Adversary(
         {pid: MutatingBehavior(Random(rng.random()), rate) for pid in pids}
     )
+    adv.spec = ("mutating", tuple(pids), rate)
+    return adv
 
 
 def equivocating_adversary(pids: list[int], rng: Random) -> Adversary:
-    return Adversary(
+    adv = Adversary(
         {pid: EquivocatingDealerBehavior(Random(rng.random())) for pid in pids}
     )
+    adv.spec = ("equivocating", tuple(pids))
+    return adv
 
 
-#: Catalogue used by :func:`random_adversary`; each entry builds one behaviour.
+def slot_poison_adversary(
+    pids: list[int],
+    rng: Random,
+    fixed_slot: int | None = None,
+) -> Adversary:
+    """Slot-targeted vector poisoners (see
+    :class:`~repro.adversary.behaviors.SlotPoisonerBehavior`): each victim
+    corrupts exactly one (rotating, or ``fixed_slot``) coin slot per
+    outbound vector window."""
+    adv = Adversary(
+        {
+            pid: SlotPoisonerBehavior(
+                Random(rng.getrandbits(64)), fixed_slot=fixed_slot
+            )
+            for pid in pids
+        }
+    )
+    adv.spec = ("slot-poison", tuple(pids), fixed_slot)
+    return adv
+
+
+def crash_recovery_adversary(
+    pids: list[int],
+    phases: tuple[int, ...] = (40, 80),
+    downtime: float = 30.0,
+) -> Adversary:
+    """Crash→recover→crash schedules (see
+    :class:`~repro.adversary.behaviors.CrashRecoveryBehavior`)."""
+    adv = Adversary(
+        {pid: CrashRecoveryBehavior(phases, downtime) for pid in pids}
+    )
+    adv.spec = ("crash-recover", tuple(pids), tuple(phases), downtime)
+    return adv
+
+
+#: Catalogue used by :func:`random_adversary`; each entry builds one
+#: behaviour.  Sub-behaviour rngs are seeded with ``getrandbits(64)`` —
+#: a full-entropy draw from the single adversary stream — so an entire
+#: random adversary is a pure function of one recorded integer seed.
 BEHAVIOR_KINDS: dict[str, object] = {
     "honest_marked": lambda rng: ByzantineBehavior(),
     "crash": lambda rng: CrashBehavior(after_messages=rng.randrange(0, 200)),
     "silent": lambda rng: SilentBehavior(),
-    "mutator": lambda rng: MutatingBehavior(Random(rng.random()), rate=rng.uniform(0.05, 0.6)),
-    "equivocating_dealer": lambda rng: EquivocatingDealerBehavior(Random(rng.random())),
-    "lying_reconstructor": lambda rng: LyingReconstructorBehavior(Random(rng.random())),
-    "lying_confirmer": lambda rng: LyingConfirmerBehavior(Random(rng.random())),
+    "mutator": lambda rng: MutatingBehavior(Random(rng.getrandbits(64)), rate=rng.uniform(0.05, 0.6)),
+    "equivocating_dealer": lambda rng: EquivocatingDealerBehavior(Random(rng.getrandbits(64))),
+    "lying_reconstructor": lambda rng: LyingReconstructorBehavior(Random(rng.getrandbits(64))),
+    "lying_confirmer": lambda rng: LyingConfirmerBehavior(Random(rng.getrandbits(64))),
     "biased_coin": lambda rng: BiasedCoinBehavior(),
-    "aba_liar": lambda rng: ABALiarBehavior(Random(rng.random())),
+    "aba_liar": lambda rng: ABALiarBehavior(Random(rng.getrandbits(64))),
+    "slot_poison": lambda rng: SlotPoisonerBehavior(Random(rng.getrandbits(64))),
+    "crash_recover": lambda rng: CrashRecoveryBehavior(
+        phases=(rng.randrange(20, 80), rng.randrange(40, 160)),
+        downtime=rng.uniform(10.0, 60.0),
+    ),
 }
 
 
 def random_adversary(
     config: SystemConfig,
-    rng: Random,
+    rng: Random | int,
     count: int | None = None,
     kinds: list[str] | None = None,
 ) -> Adversary:
-    """Corrupt a random set of up to ``t`` processes with random behaviours."""
+    """Corrupt a random set of up to ``t`` processes with random behaviours.
+
+    Every draw — victim count, victim set, behaviour kinds, and each
+    behaviour's private randomness — comes from one ``Random`` stream
+    seeded by a single integer, recorded in the returned adversary's
+    ``spec`` as ``("random", seed, ((pid, kind), ...))``.  Passing the
+    same integer (or a campaign cell replaying a ``RunRecord``'s
+    ``adversary_spec`` seed) rebuilds the exact corruption; passing a
+    ``Random`` draws the seed from it first, so existing callers stay
+    seeded-deterministic.
+    """
+    seed = rng if isinstance(rng, int) else rng.getrandbits(64)
+    stream = Random(seed)
     if count is None:
-        count = rng.randint(0, config.t)
+        count = stream.randint(0, config.t)
     count = min(count, config.t)
-    names = kinds or list(BEHAVIOR_KINDS)
-    victims = rng.sample(list(config.pids), count)
+    names = sorted(kinds) if kinds is not None else sorted(BEHAVIOR_KINDS)
+    victims = stream.sample(sorted(config.pids), count)
     corruptions = {}
+    chosen = []
     for pid in victims:
-        kind = rng.choice(names)
-        corruptions[pid] = BEHAVIOR_KINDS[kind](rng)
-    return Adversary(corruptions)
+        kind = stream.choice(names)
+        corruptions[pid] = BEHAVIOR_KINDS[kind](stream)
+        chosen.append((pid, kind))
+    adv = Adversary(corruptions)
+    adv.spec = ("random", seed, tuple(chosen))
+    return adv

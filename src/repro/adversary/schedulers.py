@@ -191,3 +191,95 @@ class SlotSplittingScheduler(Scheduler):
 
     def describe(self) -> str:
         return f"SlotSplit({self._base.describe()})"
+
+
+class CoinRevealEclipseScheduler(Scheduler):
+    """Eclipse a minority exactly when coin reveals start flowing.
+
+    The attack ROADMAP item 5 names for the batched service path: in a
+    batch, :class:`~repro.core.coin.SharedCoinGate` releases the shared
+    round coin only after every live instance fixed its round position —
+    the release boundary is when ``"rv"`` (reconstruct-value) broadcasts
+    start flowing.  This scheduler watches for reveal-carrying traffic
+    (plain VSS values, slot-vectors, and envelopes containing either) and,
+    for a ``window`` of simulated time after each sighting, holds every
+    message *crossing* the victim-minority boundary for an extra ``hold``
+    — so the victims learn the coin (and contribute their reconstruct
+    shares) as late as the model allows, precisely across gate releases.
+    Messages inside either side of the partition flow normally, and
+    eventual delivery holds (``hold`` is finite), so this is a legal
+    adversary; the paper's claim under test is that the coin's t-privacy
+    and the gate's release discipline make the eclipse powerless beyond
+    delay.
+
+    ``victims`` should be a minority (≤ t in campaign cells so the cell
+    stays honest-majority in the scheduler sense too); the adversary gets
+    reveal-sighted eclipse windows on top of whatever ``base`` does.
+    """
+
+    def __init__(
+        self,
+        base: Scheduler,
+        victims: frozenset[int] | set[int],
+        hold: float = 40.0,
+        window: float = 30.0,
+    ):
+        if not (hold > 0.0) or not (window > 0.0):
+            raise ValueError("hold and window must be positive")
+        self._base = base
+        self._victims = frozenset(victims)
+        self._hold = hold
+        self._window = window
+        self._eclipse_until = float("-inf")
+        self.splits_envelopes = bool(getattr(base, "splits_envelopes", False))
+        self.splits_slots = bool(getattr(base, "splits_slots", False))
+
+    @property
+    def victims(self) -> frozenset[int]:
+        return self._victims
+
+    @classmethod
+    def _carries_reveal(cls, payload: object) -> bool:
+        """Does this wire payload carry any reconstruct-phase traffic?"""
+        if not isinstance(payload, tuple) or not payload:
+            return False
+        tag = payload[0]
+        if tag == ENVELOPE_TAG:
+            return (
+                len(payload) == 2
+                and isinstance(payload[1], tuple)
+                and any(cls._carries_reveal(sub) for sub in payload[1])
+            )
+        if tag in ("b1", "b2", "b3") and len(payload) == 3:
+            return cls._value_reveal(payload[2])
+        return False
+
+    @staticmethod
+    def _value_reveal(value: object) -> bool:
+        if not isinstance(value, tuple) or len(value) != 4:
+            return False
+        # RB value shapes: ("vss", sid, kind, body) per session, or the
+        # aggregated ("svec", kind, group, entries) slot-vector.
+        if value[0] == "vss":
+            return value[2] == "rv"
+        if value[0] == "svec":
+            return value[1] == "rv"
+        return False
+
+    def delay(self, src: int, dst: int, payload: object, now: float) -> float:
+        base = self._base.delay(src, dst, payload, now)
+        if self._carries_reveal(payload):
+            until = now + self._window
+            if until > self._eclipse_until:
+                self._eclipse_until = until
+        if now < self._eclipse_until and (
+            (src in self._victims) != (dst in self._victims)
+        ):
+            return base + self._hold
+        return base
+
+    def describe(self) -> str:
+        return (
+            f"RevealEclipse(victims={sorted(self._victims)}, "
+            f"hold={self._hold}, window={self._window})"
+        )

@@ -188,6 +188,9 @@ class ABAProcess(ProtocolModule):
         # Round counters are wait-predicate-observable (max_rounds guards).
         self.notify()
         self.host.runtime.trace.record_event("aba.round")
+        monitor = self.host.runtime.monitor
+        if monitor is not None:
+            monitor.on_round(self.instance_id, self.pid, r)
         self.coin.join(self._coin_sid(r))
         self._send_vote(r, 1, self.est)
         self.waiting_phase = 1
@@ -455,6 +458,9 @@ class ABAProcess(ProtocolModule):
         self.decided = value
         self.decide_round = r
         self.host.runtime.trace.record_event("aba.decide")
+        monitor = self.host.runtime.monitor
+        if monitor is not None:
+            monitor.on_decision(self.instance_id, self.pid, value, r)
         if self.on_decide is not None:
             self.on_decide(value)
         # After on_decide so a wait predicate re-evaluated by this change

@@ -37,6 +37,7 @@ from repro.core.manager import CallbackWatcher, VSSManager
 from repro.core.mwsvss import BOTTOM
 from repro.core.sessions import mw_session, svss_session
 from repro.errors import ConfigurationError, DeadlockError, ProtocolError
+from repro.sim.monitor import InvariantMonitor
 from repro.sim.process import MAX_INSTANCE_SLOTS
 from repro.sim.runtime import DEFAULT_MAX_EVENTS, ENGINE_FLAT, Runtime
 from repro.sim.scheduler import Scheduler
@@ -345,6 +346,7 @@ def run_byzantine_agreement(
     engine: str = ENGINE_FLAT,
     coalesce: bool = False,
     svec: bool = False,
+    monitor: InvariantMonitor | None = None,
 ) -> AgreementResult:
     """Run one asynchronous Byzantine agreement to completion.
 
@@ -352,6 +354,16 @@ def run_byzantine_agreement(
     stops when every nonfaulty process decided, or when some process
     exceeds ``max_rounds`` (used by the non-termination experiments —
     the paper's protocol never hits it).
+
+    ``monitor`` installs a :class:`~repro.sim.monitor.InvariantMonitor` on
+    the runtime before the run starts; invariant violations propagate out
+    of this call as :class:`~repro.sim.monitor.InvariantViolation`.
+
+    Adversaries with ``adaptive = True`` (see
+    :class:`repro.adversary.adaptive.AdaptiveAdversary`) corrupt processes
+    mid-run, so the nonfaulty set the completion predicate waits on — and
+    the one the result reports — is recomputed per evaluation rather than
+    captured at start.
     """
     needs_vss = coin == "svss"
     stack = build_stack(
@@ -381,6 +393,10 @@ def run_byzantine_agreement(
         )
     stack.aba = processes
     stack.agreements[tag] = processes
+    if monitor is not None:
+        monitor.install(stack.runtime)
+        monitor.expect_inputs(tag, input_map)
+    adaptive = bool(getattr(stack.adversary, "adaptive", False))
     nonfaulty = stack.nonfaulty()
     # Source-major driver sends in one coalescing step: each host's round-1
     # vote and coin-join traffic leaves as one envelope per destination.
@@ -389,17 +405,24 @@ def run_byzantine_agreement(
             processes[pid].start(input_map[pid])
 
     def finished() -> bool:
-        if all(pid in decisions for pid in nonfaulty):
+        targets = stack.nonfaulty() if adaptive else nonfaulty
+        if all(pid in decisions for pid in targets):
             return True
-        return any(processes[pid].round > max_rounds for pid in nonfaulty)
+        return any(processes[pid].round > max_rounds for pid in targets)
 
     try:
         # Every term of ``finished`` (decisions, round counters) is
         # announced via notify_state_change, so the wait is re-evaluated
-        # on change only.
+        # on change only.  (Adaptive adversaries announce their own
+        # corruptions the same way, so a shrunken nonfaulty set is
+        # re-checked promptly.)
         stack.runtime.run_until(finished, max_events=max_events, on_change=True)
+        if adaptive:
+            nonfaulty = stack.nonfaulty()
         terminated = all(pid in decisions for pid in nonfaulty)
     except DeadlockError:
+        if adaptive:
+            nonfaulty = stack.nonfaulty()
         terminated = False
     return AgreementResult(
         config=config,
@@ -495,6 +518,7 @@ def run_byzantine_agreement_batch(
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
+    monitor: InvariantMonitor | None = None,
 ) -> BatchAgreementResult:
     """Run ``K = len(inputs_matrix)`` concurrent agreements on one runtime.
 
@@ -594,6 +618,11 @@ def run_byzantine_agreement_batch(
             )
         stack.agreements[iid] = processes
     stack.aba = stack.agreements[instance_ids[0]]
+    if monitor is not None:
+        monitor.install(stack.runtime)
+        for iid in instance_ids:
+            monitor.expect_inputs(iid, input_maps[iid])
+    adaptive = bool(getattr(stack.adversary, "adaptive", False))
     nonfaulty = stack.nonfaulty()
     # Start source-major (all of one host's instances before the next
     # host's) inside one coalescing step: the K round-1 votes of each
@@ -606,19 +635,22 @@ def run_byzantine_agreement_batch(
             for iid in instance_ids:
                 stack.agreements[iid][pid].start(input_maps[iid][pid])
 
-    def instance_done(iid: object) -> bool:
-        if all(pid in decisions[iid] for pid in nonfaulty):
+    def instance_done(iid: object, targets: list[int]) -> bool:
+        if all(pid in decisions[iid] for pid in targets):
             return True
         processes = stack.agreements[iid]
-        return any(processes[pid].round > max_rounds for pid in nonfaulty)
+        return any(processes[pid].round > max_rounds for pid in targets)
 
     def finished() -> bool:
-        return all(instance_done(iid) for iid in instance_ids)
+        targets = stack.nonfaulty() if adaptive else nonfaulty
+        return all(instance_done(iid, targets) for iid in instance_ids)
 
     try:
         stack.runtime.run_until(finished, max_events=max_events, on_change=True)
     except DeadlockError:
         pass
+    if adaptive:
+        nonfaulty = stack.nonfaulty()
     results: dict[object, AgreementResult] = {}
     for iid in instance_ids:
         processes = stack.agreements[iid]

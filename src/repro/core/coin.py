@@ -431,6 +431,9 @@ class CommonCoinModule(ProtocolModule, CoinSource):
         )
         session.output = 0 if zero_seen else 1
         self.host.runtime.notify_state_change()  # coin value is observable
+        monitor = self.host.runtime.monitor
+        if monitor is not None:
+            monitor.on_coin_output(session.csid, self.pid, session.output)
         trace = self.host.runtime.trace
         if trace.records_events:
             # Guarded so no-trace benchmark runs skip the f-string build too.

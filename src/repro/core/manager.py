@@ -310,6 +310,8 @@ class VSSManager(ProtocolModule):
             watcher.on_svss_output(sid, value)
 
     def _record_shun(self, culprit: int, session: tuple) -> None:
-        self.host.runtime.trace.record_shun(
-            self.pid, culprit, session, self.host.runtime.now
-        )
+        runtime = self.host.runtime
+        runtime.trace.record_shun(self.pid, culprit, session, runtime.now)
+        monitor = runtime.monitor
+        if monitor is not None:
+            monitor.on_shun(self.pid, culprit, session)

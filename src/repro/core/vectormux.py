@@ -242,9 +242,13 @@ class SessionVectorMux:
             self.families.add(group[1])
         host = manager.host
         ingest = manager._ingest
+        epoch = host.crash_epoch
         for item in entries:
-            if host.crashed:
-                return  # crash mid-vector: the remaining slots die too
+            if host.crashed or host.crash_epoch != epoch:
+                # Crash mid-vector: the remaining slots die too.  The epoch
+                # check extends this to crash→recover cycles inside the
+                # loop (the vector was addressed to the dead incarnation).
+                return
             if type(item) is not tuple or len(item) != 2:
                 continue
             slot, body = item

@@ -64,6 +64,27 @@ class EventQueue:
     def pop(self) -> Event:
         return self._heappop(self._heap)
 
+    def purge(self, dst: int) -> int:
+        """Drop every queued delivery to ``dst`` except runtime-origin
+        control events (``src == 0``); returns how many were dropped.
+
+        The crash-recovery path: messages queued while a process was down
+        must not surface after it recovers (they were sent to, and in the
+        model accepted by, a dead process).  Relative order of every
+        surviving event is untouched, so both engines replay identically.
+        ``pushed_total`` keeps counting the purged events — they *were*
+        sent; recovery only decides they are never delivered.
+        """
+        heap = self._heap
+        kept = [e for e in heap if e[2] != dst or e[3] == 0]
+        dropped = len(heap) - len(kept)
+        if dropped:
+            # In-place so the flat engine's hot loop, which binds the heap
+            # list to a local, keeps draining the same object.
+            heap[:] = kept
+            heapq.heapify(heap)
+        return dropped
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -145,6 +166,27 @@ class BucketQueue:
             heapq.heappop(times)
         self._len -= 1
         return event
+
+    def purge(self, dst: int) -> int:
+        """Drop every queued delivery to ``dst`` except runtime-origin
+        control events (``src == 0``); returns how many were dropped.
+
+        The deques are rebuilt *in place* and no bucket or timestamp entry
+        is removed, even when a bucket empties: the flat engine's hot loop
+        holds direct references to the deque it is draining and reclaims
+        empty buckets itself (``pop()`` also tolerates them), so purge must
+        never invalidate those references.
+        """
+        dropped = 0
+        for bucket in self._buckets.values():
+            kept = [e for e in bucket if e[2] != dst or e[3] == 0]
+            removed = len(bucket) - len(kept)
+            if removed:
+                bucket.clear()
+                bucket.extend(kept)
+                dropped += removed
+        self._len -= dropped
+        return dropped
 
     def __len__(self) -> int:
         return self._len

@@ -43,17 +43,27 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 
+from repro.adversary.adaptive import AdaptiveAdversary
 from repro.adversary.controller import (
     Adversary,
     crash_adversary,
+    crash_recovery_adversary,
     random_adversary,
     silent_adversary,
+    slot_poison_adversary,
+)
+from repro.adversary.schedulers import (
+    CoinRevealEclipseScheduler,
+    EnvelopeSplittingScheduler,
+    SlotSplittingScheduler,
+    VoteBalancingScheduler,
 )
 from repro.analysis.stats import Summary, proportion_ci95, summarize
 from repro.analysis.tables import render_table
 from repro.config import SystemConfig
 from repro.core.api import run_byzantine_agreement, run_byzantine_agreement_batch
 from repro.errors import ConfigurationError
+from repro.sim.monitor import InvariantMonitor, InvariantViolation
 from repro.sim.runtime import DEFAULT_MAX_EVENTS, ENGINE_FLAT, ENGINES
 from repro.sim.scheduler import (
     ExponentialDelayScheduler,
@@ -82,15 +92,53 @@ SCHEDULERS: dict[str, Callable[[SystemConfig], Scheduler]] = {
         UniformDelayScheduler(cfg.derive_rng("scheduler")),
         group=frozenset(range(1, cfg.n // 2 + 1)),
     ),
+    "vote-balancing": lambda cfg: VoteBalancingScheduler(cfg),
+    "env-split": lambda cfg: EnvelopeSplittingScheduler(
+        UniformDelayScheduler(cfg.derive_rng("scheduler"))
+    ),
+    "slot-split": lambda cfg: SlotSplittingScheduler(
+        UniformDelayScheduler(cfg.derive_rng("scheduler"))
+    ),
+    # Eclipse the top-t pids (a legal minority; at t=0 an empty victim set,
+    # so the wrapper degenerates to its uniform base).
+    "eclipse": lambda cfg: CoinRevealEclipseScheduler(
+        UniformDelayScheduler(cfg.derive_rng("scheduler")),
+        victims=frozenset(range(cfg.n - cfg.t + 1, cfg.n + 1)),
+    ),
 }
 
 #: Adversary registry: name -> factory(config) -> Adversary | None.
+#: Seeded entries draw from ``derive_rng("experiment-adversary")`` so every
+#: corruption replays from the scenario seed; ``t == 0`` configs get None
+#: (nothing is corruptible) rather than an invalid adversary.
 ADVERSARIES: dict[str, Callable[[SystemConfig], Adversary | None]] = {
     "none": lambda cfg: None,
     "crash-one": lambda cfg: crash_adversary([cfg.n]) if cfg.t else None,
     "silent-one": lambda cfg: silent_adversary([cfg.n]) if cfg.t else None,
     "random": lambda cfg: random_adversary(
         cfg, cfg.derive_rng("experiment-adversary")
+    ),
+    "adaptive-crash": lambda cfg: (
+        AdaptiveAdversary(
+            cfg, cfg.derive_rng("experiment-adversary"), kind="crash"
+        )
+        if cfg.t
+        else None
+    ),
+    "adaptive-mutate": lambda cfg: (
+        AdaptiveAdversary(
+            cfg, cfg.derive_rng("experiment-adversary"), kind="mutator"
+        )
+        if cfg.t
+        else None
+    ),
+    "slot-poison": lambda cfg: (
+        slot_poison_adversary([cfg.n], cfg.derive_rng("experiment-adversary"))
+        if cfg.t
+        else None
+    ),
+    "crash-recover": lambda cfg: (
+        crash_recovery_adversary([cfg.n]) if cfg.t else None
     ),
 }
 
@@ -139,6 +187,12 @@ class Scenario:
     share_coin: bool = True
     coalesce: bool = False
     svec: bool = False
+    #: Install an :class:`~repro.sim.monitor.InvariantMonitor` on the run;
+    #: any violation is caught and recorded on the RunRecord (a worker
+    #: never tears down its pool on a violation).  ``round_bound`` arms the
+    #: monitor's liveness watchdog.
+    monitor: bool = False
+    round_bound: int | None = None
 
     def validate(self) -> None:
         if self.batch < 1:
@@ -198,6 +252,19 @@ class RunRecord:
     svec_packed: int = 0
     svec_slots: int = 0
     logical_messages: int = 0
+    #: What actually corrupted whom: the adversary's picklable ``spec``
+    #: tuple, read *after* the run (adaptive adversaries only fix their
+    #: victims at strike time).  None when the factory returned no
+    #: adversary for this config.
+    adversary_spec: tuple | None = None
+    #: Invariant-monitor outcome: ``monitored`` says a monitor watched the
+    #: run; ``invariant_violation`` carries ``"[kind] message"`` when it
+    #: fired (the run is then recorded as failed, never re-raised across
+    #: the pool); the coin tallies come from the monitor's verdict.
+    monitored: bool = False
+    invariant_violation: str | None = None
+    coin_agreed: int = 0
+    coin_split: int = 0
 
     @property
     def decisions_per_wall_second(self) -> float:
@@ -266,82 +333,134 @@ def batch_inputs(scenario: Scenario, config: SystemConfig) -> list[list[int]]:
     return rows
 
 
+def _monitor_fields(
+    adversary: Adversary | None, monitor: InvariantMonitor | None
+) -> dict[str, object]:
+    """RunRecord fields shared by the success and violation paths."""
+    fields: dict[str, object] = {
+        "adversary_spec": (
+            getattr(adversary, "spec", None) if adversary is not None else None
+        ),
+        "monitored": monitor is not None,
+    }
+    if monitor is not None:
+        verdict = monitor.verdict()
+        fields["coin_agreed"] = verdict["coin_agreed"]
+        fields["coin_split"] = verdict["coin_split"]
+    return fields
+
+
 def run_scenario(scenario: Scenario) -> RunRecord:
     """Execute one scenario; the unit of work a pool worker runs."""
     scenario.validate()
     config = SystemConfig(n=scenario.n, seed=scenario.seed)
+    adversary = ADVERSARIES[scenario.adversary](config)
+    monitor = (
+        InvariantMonitor(round_bound=scenario.round_bound)
+        if scenario.monitor
+        else None
+    )
     start = time.perf_counter()
-    if scenario.batch > 1:
-        batch = run_byzantine_agreement_batch(
-            batch_inputs(scenario, config),
+    try:
+        if scenario.batch > 1:
+            batch = run_byzantine_agreement_batch(
+                batch_inputs(scenario, config),
+                config,
+                coin=scenario.coin,
+                scheduler=SCHEDULERS[scenario.scheduler](config),
+                adversary=adversary,
+                max_rounds=scenario.max_rounds,
+                max_events=scenario.max_events,
+                share_coin=scenario.share_coin,
+                coalesce_votes=scenario.coalesce,
+                svec=scenario.svec,
+                trace_level=scenario.trace_level,
+                engine=scenario.engine,
+                monitor=monitor,
+            )
+            wall = time.perf_counter() - start
+            decisions = set(batch.decisions.values())
+            return RunRecord(
+                scenario=scenario,
+                agreed=batch.agreed,
+                terminated=batch.terminated,
+                decision=(
+                    next(iter(decisions)) if len(decisions) == 1 else None
+                ),
+                rounds=batch.max_rounds,
+                sim_time=batch.sim_time,
+                events_dispatched=batch.events_dispatched,
+                messages_pushed=batch.messages_pushed,
+                total_messages=batch.trace.total_messages,
+                predicate_evals=batch.predicate_evals,
+                shun_pairs=len(batch.trace.shun_pairs()),
+                wall_seconds=wall,
+                decided_instances=batch.decided_instances,
+                envelopes_pushed=batch.envelopes_pushed,
+                payloads_coalesced=batch.payloads_coalesced,
+                svec_packed=batch.svec_packed,
+                svec_slots=batch.svec_slots,
+                logical_messages=batch.logical_messages,
+                **_monitor_fields(adversary, monitor),
+            )
+        result = run_byzantine_agreement(
+            INPUT_PATTERNS[scenario.inputs](config),
             config,
             coin=scenario.coin,
             scheduler=SCHEDULERS[scenario.scheduler](config),
-            adversary=ADVERSARIES[scenario.adversary](config),
+            adversary=adversary,
             max_rounds=scenario.max_rounds,
             max_events=scenario.max_events,
-            share_coin=scenario.share_coin,
-            coalesce_votes=scenario.coalesce,
-            svec=scenario.svec,
             trace_level=scenario.trace_level,
             engine=scenario.engine,
+            coalesce=scenario.coalesce,
+            svec=scenario.svec,
+            monitor=monitor,
         )
         wall = time.perf_counter() - start
-        decisions = set(batch.decisions.values())
         return RunRecord(
             scenario=scenario,
-            agreed=batch.agreed,
-            terminated=batch.terminated,
-            decision=next(iter(decisions)) if len(decisions) == 1 else None,
-            rounds=batch.max_rounds,
-            sim_time=batch.sim_time,
-            events_dispatched=batch.events_dispatched,
-            messages_pushed=batch.messages_pushed,
-            total_messages=batch.trace.total_messages,
-            predicate_evals=batch.predicate_evals,
-            shun_pairs=len(batch.trace.shun_pairs()),
+            agreed=result.agreed,
+            terminated=result.terminated,
+            decision=result.decision,
+            rounds=result.max_rounds,
+            sim_time=result.sim_time,
+            events_dispatched=result.events_dispatched,
+            messages_pushed=result.messages_pushed,
+            total_messages=result.trace.total_messages,
+            predicate_evals=result.predicate_evals,
+            shun_pairs=len(result.trace.shun_pairs()),
             wall_seconds=wall,
-            decided_instances=batch.decided_instances,
-            envelopes_pushed=batch.envelopes_pushed,
-            payloads_coalesced=batch.payloads_coalesced,
-            svec_packed=batch.svec_packed,
-            svec_slots=batch.svec_slots,
-            logical_messages=batch.logical_messages,
+            decided_instances=1 if result.agreed else 0,
+            envelopes_pushed=result.envelopes_pushed,
+            payloads_coalesced=result.payloads_coalesced,
+            svec_packed=result.svec_packed,
+            svec_slots=result.svec_slots,
+            logical_messages=result.logical_messages,
+            **_monitor_fields(adversary, monitor),
         )
-    result = run_byzantine_agreement(
-        INPUT_PATTERNS[scenario.inputs](config),
-        config,
-        coin=scenario.coin,
-        scheduler=SCHEDULERS[scenario.scheduler](config),
-        adversary=ADVERSARIES[scenario.adversary](config),
-        max_rounds=scenario.max_rounds,
-        max_events=scenario.max_events,
-        trace_level=scenario.trace_level,
-        engine=scenario.engine,
-        coalesce=scenario.coalesce,
-        svec=scenario.svec,
-    )
-    wall = time.perf_counter() - start
-    return RunRecord(
-        scenario=scenario,
-        agreed=result.agreed,
-        terminated=result.terminated,
-        decision=result.decision,
-        rounds=result.max_rounds,
-        sim_time=result.sim_time,
-        events_dispatched=result.events_dispatched,
-        messages_pushed=result.messages_pushed,
-        total_messages=result.trace.total_messages,
-        predicate_evals=result.predicate_evals,
-        shun_pairs=len(result.trace.shun_pairs()),
-        wall_seconds=wall,
-        decided_instances=1 if result.agreed else 0,
-        envelopes_pushed=result.envelopes_pushed,
-        payloads_coalesced=result.payloads_coalesced,
-        svec_packed=result.svec_packed,
-        svec_slots=result.svec_slots,
-        logical_messages=result.logical_messages,
-    )
+    except InvariantViolation as violation:
+        # A violation is a *finding*, not a crash: record it as a failed
+        # run so the sweep (and its pool workers) carry on, and the
+        # campaign layer can report every violating cell at once.
+        wall = time.perf_counter() - start
+        return RunRecord(
+            scenario=scenario,
+            agreed=False,
+            terminated=False,
+            decision=None,
+            rounds=0,
+            sim_time=0.0,
+            events_dispatched=0,
+            messages_pushed=0,
+            total_messages=0,
+            predicate_evals=0,
+            shun_pairs=0,
+            wall_seconds=wall,
+            decided_instances=0,
+            invariant_violation=str(violation),
+            **_monitor_fields(adversary, monitor),
+        )
 
 
 def run_matrix(

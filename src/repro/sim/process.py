@@ -29,6 +29,13 @@ OutboundFilter = Callable[[int, tuple], "tuple | None | list[tuple]"]
 #: :mod:`repro.core.vectormux`.)
 ENVELOPE_TAG = "env"
 
+#: Reserved tag of the runtime's *recovery wake* event.  A wake is the only
+#: payload a crashed host reacts to, and only when it arrives with
+#: ``src == 0`` — the runtime's own origin, which no host can use (every
+#: host send path stamps ``src = self.pid >= 1``), so byzantine peers
+#: cannot forge a resurrection.  See :meth:`~repro.sim.runtime.Runtime.recover`.
+RECOVER_TAG = "recover"
+
 #: Cap on live instances sharing one ``(host, tag)`` slot table.  Slots are
 #: registered by *local* protocol code (never by network input), so the cap
 #: is a misuse guard, not a byzantine defence: it keeps the post-freeze
@@ -99,6 +106,7 @@ class ProcessHost:
         "runtime",
         "pid",
         "crashed",
+        "crash_epoch",
         "outbound_filter",
         "behavior",
         "_handlers",
@@ -110,6 +118,11 @@ class ProcessHost:
         self.runtime = runtime
         self.pid = pid
         self.crashed = False
+        #: Incremented on every recovery; in-flight unpack loops (envelopes,
+        #: slot-vectors) capture it on entry so a crash→recover cycle inside
+        #: the loop still kills the remaining sub-payloads — they were
+        #: addressed to the previous incarnation.
+        self.crash_epoch = 0
         self.outbound_filter: OutboundFilter | None = None
         #: Byzantine behaviour object for corrupt processes; None = nonfaulty.
         self.behavior: object | None = None
@@ -223,6 +236,15 @@ class ProcessHost:
         them.  (Handler *bugs* still raise — only routing is lenient.)
         """
         if self.crashed:
+            # A crashed host ignores everything except the runtime's own
+            # recovery wake (src == 0 is unforgeable; see RECOVER_TAG).
+            if (
+                src == 0
+                and isinstance(payload, tuple)
+                and payload
+                and payload[0] == RECOVER_TAG
+            ):
+                self.runtime._apply_recovery(self)
             return
         if not isinstance(payload, tuple) or not payload:
             return
@@ -250,9 +272,14 @@ class ProcessHost:
         if type(subs) is not tuple:
             return  # forged envelope body; honest runtimes always pack tuples
         handlers = self._handlers
+        epoch = self.crash_epoch
         for sub in subs:
-            if self.crashed:
-                return  # crash mid-envelope: remaining sub-payloads die too
+            if self.crashed or self.crash_epoch != epoch:
+                # Crash mid-envelope: remaining sub-payloads die too.  The
+                # epoch check extends this to crash→recover cycles inside
+                # the loop — the recovered incarnation must not receive the
+                # tail of an envelope addressed to its predecessor.
+                return
             if not isinstance(sub, tuple) or not sub:
                 continue
             tag = sub[0]
@@ -304,3 +331,15 @@ class ProcessHost:
     def crash(self) -> None:
         """Stop participating entirely (fail-stop)."""
         self.crashed = True
+
+    def recover(self) -> None:
+        """Rejoin after a crash (called by the runtime's recovery path —
+        use :meth:`~repro.sim.runtime.Runtime.recover`, which also purges
+        stale in-flight deliveries).  Handler tables, slot tables and
+        attached modules survive the crash untouched, so the recovered
+        incarnation resumes exactly where protocol state left off; the
+        epoch bump fences out unpack loops begun pre-crash."""
+        if not self.crashed:
+            raise SimulationError(f"process {self.pid} is not crashed")
+        self.crashed = False
+        self.crash_epoch += 1

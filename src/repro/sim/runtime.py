@@ -77,7 +77,7 @@ from contextlib import contextmanager
 from repro.config import SystemConfig
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import BucketQueue, EventQueue
-from repro.sim.process import ENVELOPE_TAG, ProcessHost
+from repro.sim.process import ENVELOPE_TAG, RECOVER_TAG, ProcessHost
 from repro.sim.scheduler import Scheduler, default_scheduler
 from repro.sim.tracing import TRACE_FULL, Trace
 
@@ -180,6 +180,17 @@ class Runtime:
         #: O(state changes) comparison the engine benchmark reports).
         self.predicate_evals = 0
         self._state_version = 0
+        #: Runtime invariant monitor (:class:`repro.sim.monitor.InvariantMonitor`)
+        #: or None; protocol modules consult it at their observable-state
+        #: transition points (decisions, rounds, shuns, coin outputs).
+        self.monitor = None
+        #: Delivery observation tap ``tap(src, dst, payload)`` or None,
+        #: called for every dispatched event *before* routing.  This is the
+        #: adaptive adversary's sensor (it sees exactly the traffic the
+        #: network delivers, wire-level: envelopes and slot-vectors as
+        #: such).  Snapshotted at hot-loop entry, so install it before the
+        #: run starts.
+        self.delivery_tap = None
 
     def host(self, pid: int) -> ProcessHost:
         try:
@@ -221,6 +232,61 @@ class Runtime:
         for pid, host in self.hosts.items():
             if host.behavior is None and not host.crashed:
                 tables[pid] = dict(host._handlers)
+
+    # -- crash recovery ------------------------------------------------------
+    def recover(self, pid: int, at: float | None = None) -> None:
+        """Bring a crashed process back: immediately (``at=None``) or at
+        simulated time ``at`` via a scheduled recovery wake.
+
+        Recovery is *amnesia-free but wire-lossy*: the host's handler
+        tables, slot tables and attached modules survive untouched (the
+        ``ProtocolModule.attach`` wiring from before the crash is the
+        re-attach), while every delivery queued for the host — pre-crash
+        or during the outage — is purged, so the recovered incarnation
+        only sees traffic sent after it rejoined.  That is the standard
+        crash-recovery network model: a rebooted node keeps its disk, not
+        its socket buffers.
+        """
+        host = self.host(pid)
+        if at is None:
+            if not host.crashed:
+                raise SimulationError(f"process {pid} is not crashed")
+            self._apply_recovery(host)
+            return
+        self.schedule_recovery(pid, at)
+
+    def schedule_recovery(self, pid: int, at: float) -> None:
+        """Queue a recovery wake for ``pid`` at time ``at`` (> now).
+
+        The wake is an ordinary event with the unforgeable runtime origin
+        ``src == 0``; if the host is not crashed when it arrives, the wake
+        is dropped like any unhandled tag.  Byzantine peers cannot fake
+        one (every host send path stamps its own pid as src).
+        """
+        self.host(pid)  # validate the pid
+        if not (at > self.now) or at == _INF:
+            raise SimulationError(
+                f"recovery time {at!r} must be finite and after now={self.now!r}"
+            )
+        self.queue.push(at, pid, 0, (RECOVER_TAG,))
+
+    def _apply_recovery(self, host: ProcessHost) -> None:
+        """Perform the actual recovery of a crashed host (wake delivery or
+        immediate :meth:`recover`): purge stale in-flight deliveries, flip
+        the host live (epoch bump), run the behaviour's ``on_recover`` hook
+        (crash-recovery behaviours re-arm their next crash budget here),
+        tell the monitor, and nudge waiting predicates."""
+        self.queue.purge(host.pid)
+        host.recover()
+        behavior = host.behavior
+        if behavior is not None:
+            hook = getattr(behavior, "on_recover", None)
+            if hook is not None:
+                hook(host)
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_recovery(host.pid, self.now)
+        self.notify_state_change()
 
     # -- transport -----------------------------------------------------------
     def transmit(self, src: int, dst: int, payload: tuple, layer: str) -> None:
@@ -417,6 +483,9 @@ class Runtime:
         if svec:
             self.svec_buffering = True
         try:
+            tap = self.delivery_tap
+            if tap is not None:
+                tap(src, dst, payload)
             table = self._tables[dst]
             if table is None:
                 self.hosts[dst].deliver(src, payload)
@@ -426,6 +495,16 @@ class Runtime:
                     handler = table.get(payload[0])
                     if handler is not None:
                         handler(src, payload)
+                elif host.crashed and src == 0:
+                    # Recovery wakes are the one thing a crashed host on the
+                    # fast path still reacts to (the slow path handles this
+                    # inside ProcessHost.deliver).
+                    if (
+                        isinstance(payload, tuple)
+                        and payload
+                        and payload[0] == RECOVER_TAG
+                    ):
+                        self._apply_recovery(host)
         finally:
             # Slot-vectors flush before wire buffering is cleared, so they
             # join the step's envelopes (keeping the legacy engine's
@@ -536,6 +615,10 @@ class Runtime:
         # The caller evaluated the predicate before entering, so only a
         # version moved *after* this point warrants a re-evaluation.
         last_version = self._state_version
+        # Snapshot of the delivery tap: adaptive adversaries install theirs
+        # before the run; a tap that loses interest mid-run just goes inert
+        # rather than uninstalling.
+        tap = self.delivery_tap
         dispatched = 0
         try:
             if type(queue) is BucketQueue:
@@ -554,6 +637,8 @@ class Runtime:
                             raise SimulationError(
                                 f"exceeded {max_events} events; likely livelock"
                             )
+                        if tap is not None:
+                            tap(src, dst, payload)
                         table = tables[dst]
                         if table is not None:
                             host = hosts_seq[dst]
@@ -565,6 +650,13 @@ class Runtime:
                                 handler = table.get(payload[0])
                                 if handler is not None:
                                     handler(src, payload)
+                            elif host.crashed and src == 0:
+                                if (
+                                    isinstance(payload, tuple)
+                                    and payload
+                                    and payload[0] == RECOVER_TAG
+                                ):
+                                    self._apply_recovery(host)
                         else:
                             hosts_seq[dst].deliver(src, payload)
                         if svec and self._svec_pending:
@@ -599,6 +691,8 @@ class Runtime:
                         raise SimulationError(
                             f"exceeded {max_events} events; likely livelock"
                         )
+                    if tap is not None:
+                        tap(src, dst, payload)
                     table = tables[dst]
                     if table is not None:
                         host = hosts_seq[dst]
@@ -610,6 +704,13 @@ class Runtime:
                             handler = table.get(payload[0])
                             if handler is not None:
                                 handler(src, payload)
+                        elif host.crashed and src == 0:
+                            if (
+                                isinstance(payload, tuple)
+                                and payload
+                                and payload[0] == RECOVER_TAG
+                            ):
+                                self._apply_recovery(host)
                     else:
                         hosts_seq[dst].deliver(src, payload)
                     if svec and self._svec_pending:
