@@ -1,0 +1,258 @@
+"""Socket-transport benchmark — emits ``BENCH_net.json``.
+
+The robustness artifact for the real-network layer (ROADMAP item 1):
+
+1. **Throughput** — messages/second across one directed 2-node link,
+   clean and under each throughput-meaningful chaos profile, with the
+   exactly-once in-order contract asserted on every run (a fast but
+   wrong transport must fail the bench, not win it).
+2. **Reconnect recovery** — wall-clock from ``restart_transport`` until
+   a backlog queued during the outage is fully delivered in order: the
+   price of one crash+reboot resync (epoch handshake + retransmit).
+3. **Chaos-safety gate** — every profile in
+   :data:`~repro.net.chaos.CHAOS_PROFILES` runs split-input agreement
+   with the invariant monitor armed; one violation anywhere fails the
+   bench before any number is written.
+4. **Sim-equivalence gate** — the decision reached over real sockets is
+   bit-identical to the simulator's on the same unanimous inputs: the
+   transport may change timing, never outcomes.
+
+The JSON artifact is committed at the repo root next to the other
+``BENCH_*.json`` so the transport's trajectory stays diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from bench_common import bench_payload, write_bench_json
+from repro.config import SystemConfig
+from repro.core.api import run_byzantine_agreement
+from repro.net.chaos import CHAOS_PROFILES, ChaosProxy
+from repro.net.cluster import NetCluster
+from repro.net.transport import NetworkNode, TransportConfig
+from repro.sim.monitor import InvariantMonitor
+from repro.sim.tracing import TRACE_OFF
+
+#: CI's net job sets this to shrink the blast size; gates are identical.
+SMOKE = os.environ.get("REPRO_NET_SMOKE") == "1"
+BLAST = 4000 if SMOKE else 20000
+RECONNECT_BACKLOG = 500 if SMOKE else 2000
+
+FAST = TransportConfig(
+    connect_timeout=0.5,
+    backoff_base=0.02,
+    backoff_max=0.2,
+    heartbeat_interval=0.1,
+    idle_timeout=2.0,
+    rto=0.1,
+    down_after=1.0,
+)
+
+#: Profiles whose steady-state throughput is meaningful (partition is a
+#: heal scenario, not a rate; it is still safety-gated below).
+THROUGHPUT_PROFILES = ("none", "drop", "delay", "duplicate", "reorder", "flaky")
+
+
+async def _wired_pair(profile_name: "str | None"):
+    """Two nodes; the 1 -> 2 direction optionally crosses a chaos proxy."""
+    config = SystemConfig(n=2, t=0, seed=9000)
+    a = NetworkNode(config, 1, tconfig=FAST, trace_level=TRACE_OFF)
+    b = NetworkNode(config, 2, tconfig=FAST, trace_level=TRACE_OFF)
+    await a.start_server()
+    await b.start_server()
+    proxy = None
+    b_addr = ("127.0.0.1", b.port)
+    if profile_name is not None:
+        proxy = ChaosProxy(
+            2, b_addr, CHAOS_PROFILES[profile_name], seed=9000, n=2
+        )
+        await proxy.start()
+        b_addr = ("127.0.0.1", proxy.port)
+    a.set_peers({1: ("127.0.0.1", a.port), 2: b_addr})
+    b.set_peers({1: ("127.0.0.1", a.port), 2: ("127.0.0.1", b.port)})
+    a.start_peers()
+    b.start_peers()
+    return a, b, proxy
+
+
+async def _measure_throughput(profile_name: str, n_msgs: int) -> dict:
+    a, b, proxy = await _wired_pair(
+        None if profile_name == "none" else profile_name
+    )
+    got: list = []
+    b.host.register_handler("m", lambda src, msg: got.append(msg))
+    start = time.perf_counter()
+    for i in range(n_msgs):
+        a.dispatch_out(2, ("m", i))
+    await b.wait_for(lambda: len(got) >= n_msgs, timeout=180)
+    wall = time.perf_counter() - start
+    # The exactly-once in-order contract IS the bench's validity condition.
+    assert got == [("m", i) for i in range(n_msgs)], (
+        f"profile {profile_name}: delivery broke order/uniqueness"
+    )
+    stats = a.peers[2].stats
+    row = {
+        "messages": n_msgs,
+        "wall_seconds": round(wall, 4),
+        "msgs_per_second": round(n_msgs / wall, 1),
+        "retransmits": stats.retransmits,
+        "reconnects": stats.reconnects,
+    }
+    await a.close()
+    await b.close()
+    if proxy is not None:
+        link = proxy.stats.get(1)
+        if link is not None:
+            row["proxy"] = {
+                "forwarded": link.forwarded,
+                "dropped": link.dropped,
+                "duplicated": link.duplicated,
+                "reordered": link.reordered,
+            }
+        await proxy.close()
+    return row
+
+
+async def _measure_reconnect(backlog: int) -> dict:
+    a, b, _ = await _wired_pair(None)
+    got: list = []
+    b.host.register_handler("m", lambda src, msg: got.append(msg))
+    for i in range(100):
+        a.dispatch_out(2, ("m", i))
+    await b.wait_for(lambda: len(got) >= 100, timeout=30)
+
+    await b.stop_transport()
+    for i in range(100, 100 + backlog):
+        a.dispatch_out(2, ("m", i))  # queued while b is dark
+    await asyncio.sleep(0.3)
+
+    start = time.perf_counter()
+    await b.restart_transport()
+    await b.wait_for(lambda: len(got) >= 100 + backlog, timeout=60)
+    recovery = time.perf_counter() - start
+    assert got == [("m", i) for i in range(100 + backlog)]
+    row = {
+        "backlog_frames": backlog,
+        "recovery_seconds": round(recovery, 4),
+        "reconnects": a.peers[2].stats.reconnects,
+    }
+    await a.close()
+    await b.close()
+    return row
+
+
+async def _chaos_safety_matrix() -> dict:
+    rows = {}
+    for name in sorted(CHAOS_PROFILES):
+        monitor = InvariantMonitor()
+        cluster = NetCluster(
+            SystemConfig(n=4, seed=9100),
+            tconfig=FAST,
+            chaos=name,
+            with_vss=False,
+            trace_level=TRACE_OFF,
+            monitor=monitor,
+        )
+        await cluster.start()
+        start = time.perf_counter()
+        try:
+            decisions = await cluster.run_agreement(
+                [0, 1, 0, 1], coin="local", instance=f"bench-{name}",
+                timeout=90,
+            )
+        finally:
+            await cluster.close()
+        wall = time.perf_counter() - start
+        # Gate: all four decide, identically, with the monitor silent
+        # (it raises at the violating event, so reaching here is clean).
+        assert len(decisions) == 4 and len(set(decisions.values())) == 1, (
+            f"profile {name}: agreement broke: {decisions}"
+        )
+        verdict = monitor.verdict()
+        rows[name] = {
+            "wall_seconds": round(wall, 4),
+            "decision": decisions[1],
+            "max_round": verdict["max_round"],
+            "decisions_observed": len(verdict["decisions"]),
+        }
+    return rows
+
+
+async def _sim_equivalence() -> dict:
+    inputs = [1, 1, 1, 1]
+    seed = 9200
+    cluster = NetCluster(
+        SystemConfig(n=4, seed=seed),
+        tconfig=FAST,
+        with_vss=False,
+        trace_level=TRACE_OFF,
+    )
+    await cluster.start()
+    try:
+        net = await cluster.run_agreement(inputs, coin="local", timeout=90)
+    finally:
+        await cluster.close()
+    sim = run_byzantine_agreement(
+        inputs, SystemConfig(n=4, seed=seed), coin="local",
+        trace_level=TRACE_OFF,
+    )
+    assert sim.agreed
+    assert net == {pid: sim.decision for pid in (1, 2, 3, 4)}, (
+        f"socket decisions {net} != sim decision {sim.decision}"
+    )
+    return {"inputs": inputs, "net": net[1], "sim": sim.decision}
+
+
+def test_bench_net(emit):
+    async def main():
+        chaos_rows = await _chaos_safety_matrix()  # gates run first
+        equivalence = await _sim_equivalence()
+        throughput = {
+            name: await _measure_throughput(name, BLAST)
+            for name in THROUGHPUT_PROFILES
+        }
+        reconnect = await _measure_reconnect(RECONNECT_BACKLOG)
+        return chaos_rows, equivalence, throughput, reconnect
+
+    chaos_rows, equivalence, throughput, reconnect = asyncio.run(main())
+
+    payload = bench_payload(
+        {
+            "smoke": SMOKE,
+            "blast_messages": BLAST,
+            "reconnect_backlog": RECONNECT_BACKLOG,
+            "gates": [
+                "every chaos profile keeps split-input agreement safe "
+                "under the armed invariant monitor",
+                "socket decisions are bit-identical to the simulator's",
+                "every throughput run delivered exactly-once in order",
+            ],
+        },
+        chaos_safety=chaos_rows,
+        sim_equivalence=equivalence,
+        throughput=throughput,
+        reconnect=reconnect,
+    )
+    path = write_bench_json("net", payload)
+
+    emit("Socket transport: throughput per chaos profile "
+         f"({BLAST} msgs, one directed link)")
+    for name in THROUGHPUT_PROFILES:
+        row = throughput[name]
+        emit(
+            f"  {name:10s} {row['msgs_per_second']:>10.1f} msg/s"
+            f"   retx={row['retransmits']:<6d}"
+            f" wall={row['wall_seconds']:.2f}s"
+        )
+    emit(
+        f"reconnect recovery: {reconnect['backlog_frames']} queued frames "
+        f"drained {reconnect['recovery_seconds']:.3f}s after restart"
+    )
+    emit(
+        "chaos-safety matrix: "
+        + ", ".join(f"{k}:ok" for k in sorted(chaos_rows))
+        + f"; artifact: {path.name}"
+    )

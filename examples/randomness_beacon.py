@@ -15,7 +15,7 @@ Run:  python examples/randomness_beacon.py
 from repro import SystemConfig
 from repro.adversary.behaviors import BiasedCoinBehavior
 from repro.adversary.controller import Adversary
-from repro.core.api import build_stack, _make_coins
+from repro.core.api import build_stack, make_coins
 
 EPOCHS = 4
 
@@ -24,7 +24,7 @@ def main() -> None:
     config = SystemConfig(n=4, seed=7)
     adversary = Adversary({3: BiasedCoinBehavior()})  # tries to force 0s
     stack = build_stack(config, adversary=adversary)
-    coins = _make_coins(stack, "svss")
+    coins = make_coins(stack, "svss")
 
     print(f"beacon: n={config.n}, t={config.t}, epochs={EPOCHS}")
     print("party 3 deals all-zero secrets, trying to pin the beacon to 0")

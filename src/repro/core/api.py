@@ -203,7 +203,62 @@ def build_stack(
     return stack
 
 
-def _make_coins(
+def build_node_modules(host, with_vss: bool = True):
+    """Per-host protocol substrate: ``(BroadcastManager, VSSManager)``.
+
+    The transport-parametrized half of :func:`build_stack`: given any
+    host satisfying :class:`~repro.sim.module.HostABC` — a simulated
+    :class:`~repro.sim.process.ProcessHost` or a socket-backed
+    :class:`~repro.net.transport.NetworkHost` — build the broadcast/VSS
+    layers that every agreement and coin module sits on.  ``build_stack``
+    remains the one-call simulated assembly; network deployments call
+    this once per node because each OS process owns exactly one host.
+    """
+    broadcast = BroadcastManager(host)
+    vss = VSSManager(host, broadcast) if with_vss else None
+    return broadcast, vss
+
+
+def make_node_coin(
+    host,
+    coin: CoinSpec,
+    broadcast: BroadcastManager | None = None,
+    vss: VSSManager | None = None,
+    instance: object = DEFAULT_INSTANCE,
+) -> CoinSource:
+    """One process' coin source, transport-agnostic.
+
+    The per-host core of :func:`make_coins` for the coin kinds that need
+    no cross-process oracle: ``"svss"`` (the paper's shunning common
+    coin, served by one :class:`CommonCoinModule` per host) and
+    ``"local"`` (the private-coin baseline; the stream derivation matches
+    :func:`make_coins` exactly, so a network run and a simulated run on
+    the same config draw identical local-coin bits).
+    """
+    config = host.runtime.config
+    if coin == "svss":
+        if vss is None or broadcast is None:
+            raise ConfigurationError(
+                "svss coin requires this host's broadcast and vss modules"
+            )
+        config.require_optimal_resilience()
+        if host.has_module("coin"):
+            return host.module("coin")
+        return CommonCoinModule(host, vss, broadcast)
+    if coin == "local":
+        tags = (
+            ("local-coin", host.pid)
+            if instance == DEFAULT_INSTANCE
+            else ("local-coin", instance, host.pid)
+        )
+        return LocalCoin(config.derive_rng(*tags))
+    raise ConfigurationError(
+        f"coin spec {coin!r} cannot be built per-node; use make_coins "
+        "on a simulated stack (ideal coins need a shared oracle)"
+    )
+
+
+def make_coins(
     stack: Stack, coin: CoinSpec, instance: object = DEFAULT_INSTANCE
 ) -> dict[int, CoinSource]:
     """Build (or reuse) the pid-keyed coin sources backing one instance.
@@ -255,6 +310,10 @@ def _make_coins(
     if instance == DEFAULT_INSTANCE or not stack.coins:
         stack.coins = coins
     return coins
+
+
+#: Backwards-compatible alias from before ``make_coins`` went public.
+_make_coins = make_coins
 
 
 # ---------------------------------------------------------------------------
@@ -378,7 +437,7 @@ def run_byzantine_agreement(
         coalesce=coalesce,
         svec=svec,
     )
-    coins = _make_coins(stack, coin, instance=tag)
+    coins = make_coins(stack, coin, instance=tag)
     input_map = _normalize_inputs(inputs, config)
 
     decisions: dict[int, int] = {}
@@ -577,7 +636,7 @@ def run_byzantine_agreement_batch(
     if share_coin:
         # One underlying coin per process, sessions keyed like a default-tag
         # solo run; one gate per process shared by its K instance frontends.
-        base = _make_coins(stack, coin, instance=DEFAULT_INSTANCE)
+        base = make_coins(stack, coin, instance=DEFAULT_INSTANCE)
         gates = {
             pid: SharedCoinGate(
                 base[pid], len(instance_ids), shared_tag=DEFAULT_INSTANCE
@@ -597,7 +656,7 @@ def run_byzantine_agreement_batch(
 
     else:
         per_instance = {
-            iid: _make_coins(stack, coin, instance=iid) for iid in instance_ids
+            iid: make_coins(stack, coin, instance=iid) for iid in instance_ids
         }
 
         def coin_for(iid: object, pid: int) -> CoinSource:
@@ -882,7 +941,7 @@ def flip_common_coin(
         coalesce=coalesce,
         svec=svec,
     )
-    coins = _make_coins(stack, "svss")
+    coins = make_coins(stack, "svss")
     csid = ("cc", "solo", session)
     outputs: dict[int, int] = {}
     # Source-major joins in one coalescing step: each dealer's n share
@@ -924,8 +983,11 @@ __all__ = [
     "DEFAULT_INSTANCE",
     "Stack",
     "VSSResult",
+    "build_node_modules",
     "build_stack",
     "flip_common_coin",
+    "make_coins",
+    "make_node_coin",
     "run_byzantine_agreement",
     "run_byzantine_agreement_batch",
     "run_mwsvss",

@@ -1,0 +1,87 @@
+"""repro.net — fault-tolerant asyncio network transport.
+
+Everything under :mod:`repro.sim` runs the protocol stack inside a
+simulated event loop; this package runs the *same* ``ProtocolModule``
+stacks over real asyncio TCP sockets:
+
+* :mod:`repro.net.codec` — canonical serialization for the existing wire
+  tuples (envelopes, session-vectors, RB bids, ABA votes) plus
+  length-prefixed, checksummed framing with per-frame rejection;
+* :mod:`repro.net.transport` — :class:`NetworkHost` (the
+  ``ProcessHost`` send/handler surface over sockets), a
+  :class:`PeerConnection` supervisor per peer (exponential-backoff
+  reconnect, heartbeats, seq/ack reliable delivery, bounded outbound
+  queues with backpressure), and :class:`NetworkNode` tying one process'
+  server + peers + dispatch pump together;
+* :mod:`repro.net.chaos` — :class:`ChaosProxy`, a frame-aware seeded
+  fault-injection proxy (drop/delay/duplicate/reorder/partition/
+  slow-link/flaky per directed link) — the network analogue of the
+  adversarial schedulers;
+* :mod:`repro.net.cluster` — an in-process n-node cluster over real
+  127.0.0.1 TCP with :class:`~repro.sim.monitor.InvariantMonitor`
+  integration (the test/benchmark harness);
+* :mod:`repro.net.verdict` — cross-process invariant verdicts for runs
+  whose processes do not share an address space;
+* :mod:`repro.net.launch` — spawn ``n`` OS processes and drive
+  agreement + coin flips end-to-end over sockets (``python -m
+  repro.net.launch``).
+
+The transport contract (reliability, backpressure, degradation) is
+documented in ``docs/NETWORK.md``.
+"""
+
+from repro.net.chaos import CHAOS_PROFILES, ChaosProfile, ChaosProxy, LinkPolicy
+from repro.net.cluster import NetCluster, NetContext
+from repro.net.codec import (
+    FRAME_ACK,
+    FRAME_DATA,
+    FRAME_HELLO,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_WELCOME,
+    MAX_FRAME_BODY,
+    CodecError,
+    FrameError,
+    FrameParser,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+from repro.net.launch import run_processes
+from repro.net.transport import (
+    NetRuntime,
+    NetworkHost,
+    NetworkNode,
+    PeerConnection,
+    TransportConfig,
+)
+from repro.net.verdict import NetVerdict
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "ChaosProfile",
+    "ChaosProxy",
+    "CodecError",
+    "FRAME_ACK",
+    "FRAME_DATA",
+    "FRAME_HELLO",
+    "FRAME_PING",
+    "FRAME_PONG",
+    "FRAME_WELCOME",
+    "FrameError",
+    "FrameParser",
+    "LinkPolicy",
+    "MAX_FRAME_BODY",
+    "NetCluster",
+    "NetContext",
+    "NetRuntime",
+    "NetVerdict",
+    "NetworkHost",
+    "NetworkNode",
+    "PeerConnection",
+    "TransportConfig",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+    "run_processes",
+]

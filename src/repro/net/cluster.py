@@ -1,0 +1,286 @@
+"""In-process socket clusters: n nodes, one event loop, real TCP.
+
+The test/benchmark harness of :mod:`repro.net`.  A :class:`NetCluster`
+builds one :class:`~repro.net.transport.NetworkNode` per process, wires
+them to each other over 127.0.0.1 sockets — optionally through a
+:class:`~repro.net.chaos.ChaosProxy` per destination — assembles the
+standard protocol substrate on every host, and drives agreement runs and
+coin flips to completion.  Because all n processes share the Python
+process, the PR 6 :class:`~repro.sim.monitor.InvariantMonitor` plugs in
+unchanged: the cluster's :class:`NetContext` satisfies the runtime
+surface the monitor consumes (``config``/``host(pid)``/``now``/
+``monitor``), every host's runtime resolves ``monitor`` through it, and
+the protocol modules' existing hook calls (`on_decision`, `on_round`,
+`on_shun`, `on_coin_output`) fire exactly as they do in simulation.
+
+For runs whose processes genuinely do not share an address space, use
+:mod:`repro.net.launch` + :class:`~repro.net.verdict.NetVerdict`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.config import SystemConfig
+from repro.core.agreement import ABAProcess
+from repro.core.api import DEFAULT_INSTANCE, build_node_modules, make_node_coin
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.chaos import CHAOS_PROFILES, ChaosProfile, ChaosProxy
+from repro.net.transport import NetworkNode, TransportConfig
+from repro.sim.tracing import TRACE_FULL
+
+
+class NetContext:
+    """The cluster-shared runtime surface (monitor clock + pid -> host).
+
+    One instance is shared by every node's :class:`NetRuntime`; the
+    :class:`~repro.sim.monitor.InvariantMonitor` installs onto it exactly
+    as it installs onto a simulated ``Runtime``.
+    """
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.monitor = None
+        self._nodes: dict[int, NetworkNode] = {}
+        self._start = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._start
+
+    def register(self, node: NetworkNode) -> None:
+        self._nodes[node.pid] = node
+        node.context = self
+
+    def host(self, pid: int):
+        try:
+            return self._nodes[pid].host
+        except KeyError:
+            raise SimulationError(f"no node registered for pid {pid}") from None
+
+
+def resolve_profile(chaos: "str | ChaosProfile | None") -> ChaosProfile | None:
+    if chaos is None:
+        return None
+    if isinstance(chaos, ChaosProfile):
+        return chaos
+    try:
+        return CHAOS_PROFILES[chaos]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown chaos profile {chaos!r}; "
+            f"known: {sorted(CHAOS_PROFILES)}"
+        ) from None
+
+
+class NetCluster:
+    """n protocol processes over real localhost TCP, driven to completion.
+
+    Usage::
+
+        cluster = NetCluster(SystemConfig(n=4, seed=7), chaos="drop")
+        await cluster.start()
+        decisions = await cluster.run_agreement([1, 1, 1, 1])
+        await cluster.close()
+
+    ``chaos`` names a profile from
+    :data:`~repro.net.chaos.CHAOS_PROFILES` (or passes one directly);
+    every inter-node link then crosses that destination's proxy.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        tconfig: TransportConfig | None = None,
+        chaos: "str | ChaosProfile | None" = None,
+        with_vss: bool = True,
+        trace_level: int = TRACE_FULL,
+        monitor=None,
+    ):
+        self.config = config
+        self.tconfig = tconfig or TransportConfig()
+        self.profile = resolve_profile(chaos)
+        self.with_vss = with_vss
+        self.context = NetContext(config)
+        self.nodes: dict[int, NetworkNode] = {}
+        self.proxies: dict[int, ChaosProxy] = {}
+        self.broadcasts: dict[int, object] = {}
+        self.vss: dict[int, object] = {}
+        self.coins: dict[int, object] = {}
+        self._trace_level = trace_level
+        self._started = False
+        if monitor is not None:
+            monitor.install(self.context)
+        self.monitor = monitor
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind every node, wire the address book (through proxies when a
+        chaos profile is active) and build the protocol substrate."""
+        config = self.config
+        for pid in config.pids:
+            node = NetworkNode(
+                config,
+                pid,
+                tconfig=self.tconfig,
+                trace_level=self._trace_level,
+            )
+            self.context.register(node)
+            self.nodes[pid] = node
+            await node.start_server()
+        reachable: dict[int, tuple[str, int]] = {}
+        for pid, node in self.nodes.items():
+            if self.profile is not None:
+                proxy = ChaosProxy(
+                    pid,
+                    (self.tconfig.bind_host, node.port),
+                    self.profile,
+                    config.seed,
+                    config.n,
+                    bind_host=self.tconfig.bind_host,
+                )
+                await proxy.start()
+                self.proxies[pid] = proxy
+                reachable[pid] = (self.tconfig.bind_host, proxy.port)
+            else:
+                reachable[pid] = (self.tconfig.bind_host, node.port)
+        for node in self.nodes.values():
+            node.set_peers(reachable)
+            node.start_peers()
+        for pid, node in self.nodes.items():
+            broadcast, vss = build_node_modules(node.host, self.with_vss)
+            self.broadcasts[pid] = broadcast
+            if vss is not None:
+                self.vss[pid] = vss
+        self._started = True
+
+    async def close(self) -> None:
+        for node in self.nodes.values():
+            await node.close()
+        for proxy in self.proxies.values():
+            await proxy.close()
+
+    # -- fault scripting ---------------------------------------------------
+    async def kill_node(self, pid: int) -> None:
+        """Take one node's transport down (sockets die, protocol state
+        survives) — the network half of a crash."""
+        await self.nodes[pid].stop_transport()
+
+    async def revive_node(self, pid: int) -> None:
+        """Bring a killed node's transport back; peers resync via the
+        epoch handshake and retransmit everything unacked."""
+        await self.nodes[pid].restart_transport()
+
+    # -- waits -------------------------------------------------------------
+    async def wait_for(self, predicate, timeout: float = 60.0) -> None:
+        """Drive the loop until ``predicate()`` holds cluster-wide."""
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"cluster predicate not true after {timeout}s"
+                )
+            await asyncio.sleep(0.005)
+
+    # -- protocol drivers --------------------------------------------------
+    def _coin_for(self, pid: int, coin: object, instance: object):
+        node = self.nodes[pid]
+        if coin == "svss" and pid in self.coins:
+            return self.coins[pid]
+        source = make_node_coin(
+            node.host,
+            coin,
+            broadcast=self.broadcasts[pid],
+            vss=self.vss.get(pid),
+            instance=instance,
+        )
+        if coin == "svss":
+            self.coins[pid] = source
+        return source
+
+    async def run_agreement(
+        self,
+        inputs: "list[int] | dict[int, int]",
+        coin: object = "svss",
+        instance: object = DEFAULT_INSTANCE,
+        timeout: float = 60.0,
+        faulty: "set[int] | None" = None,
+    ) -> dict[int, int]:
+        """One Byzantine agreement over the wire; returns pid -> decision.
+
+        ``faulty`` pids do not participate at all (fail-stop from the
+        start) and are not waited on — the liveness bar is ``n - t``
+        honest deciders, the paper's bound.
+        """
+        if not self._started:
+            raise SimulationError("cluster not started")
+        config = self.config
+        if not isinstance(inputs, dict):
+            if len(inputs) != config.n:
+                raise ConfigurationError(
+                    f"need {config.n} inputs, got {len(inputs)}"
+                )
+            inputs = {pid: inputs[pid - 1] for pid in config.pids}
+        faulty = faulty or set()
+        live = [pid for pid in config.pids if pid not in faulty]
+        if self.monitor is not None:
+            self.monitor.expect_inputs(instance, dict(inputs))
+        decisions: dict[int, int] = {}
+        processes = {}
+        for pid in live:
+            node = self.nodes[pid]
+            processes[pid] = ABAProcess(
+                node.host,
+                self.broadcasts[pid],
+                self._coin_for(pid, coin, instance),
+                instance_id=instance,
+                on_decide=lambda v, pid=pid: decisions.setdefault(pid, v),
+            )
+        for pid in live:
+            processes[pid].start(inputs[pid])
+        await self.wait_for(
+            lambda: all(pid in decisions for pid in live), timeout=timeout
+        )
+        for pid in live:
+            processes[pid].close()
+        return decisions
+
+    async def flip_coin(
+        self,
+        session: object = 0,
+        timeout: float = 60.0,
+        faulty: "set[int] | None" = None,
+    ) -> dict[int, int]:
+        """One full SVSS shunning-common-coin invocation over the wire."""
+        if not self._started:
+            raise SimulationError("cluster not started")
+        if not self.with_vss:
+            raise ConfigurationError("coin flips need a cluster with VSS")
+        self.config.require_optimal_resilience()
+        faulty = faulty or set()
+        live = [pid for pid in self.config.pids if pid not in faulty]
+        csid = ("cc", "solo", session)
+        outputs: dict[int, int] = {}
+        coins = {pid: self._coin_for(pid, "svss", DEFAULT_INSTANCE) for pid in live}
+        for pid in live:
+            coins[pid].join(csid)
+            coins[pid].get(csid, lambda v, pid=pid: outputs.setdefault(pid, v))
+            coins[pid].release(csid)
+        await self.wait_for(
+            lambda: all(pid in outputs for pid in live), timeout=timeout
+        )
+        return outputs
+
+    # -- stats -------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "nodes": {pid: node.stats() for pid, node in self.nodes.items()},
+            "chaos": {
+                pid: {
+                    src: vars(stats)
+                    for src, stats in sorted(proxy.stats.items())
+                }
+                for pid, proxy in sorted(self.proxies.items())
+            },
+        }

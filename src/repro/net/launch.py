@@ -1,0 +1,330 @@
+"""Spawn n OS processes and run agreement + coin flips over real sockets.
+
+The end-to-end deployment shape of ROADMAP item 1: every protocol
+process is its own ``python -m repro.net.launch --child`` subprocess
+owning one :class:`~repro.net.transport.NetworkNode`; the parent
+allocates ports, optionally hosts one
+:class:`~repro.net.chaos.ChaosProxy` per destination (chaos injection
+stays seeded in a single place even though the protocol runs in n
+address spaces), collects each child's JSON report and judges the run
+with :class:`~repro.net.verdict.NetVerdict`.
+
+Children keep serving after reporting until the parent says ``exit`` —
+a decided process must stay online so slower peers can still drain
+retransmissions from it (the async model has no silent leavers).
+
+CLI::
+
+    python -m repro.net.launch --n 4 --inputs 1,1,1,1 --coins 2 --chaos drop
+
+exits nonzero iff the verdict records a violation or a child fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import socket
+import sys
+
+from repro.config import SystemConfig
+from repro.core.agreement import ABAProcess
+from repro.core.api import DEFAULT_INSTANCE, build_node_modules, make_node_coin
+from repro.net.chaos import ChaosProxy
+from repro.net.cluster import resolve_profile
+from repro.net.transport import NetworkNode, TransportConfig
+from repro.net.verdict import NetVerdict
+from repro.sim.tracing import TRACE_OFF
+
+#: Marker prefixing the one JSON line a child prints on stdout.
+REPORT_PREFIX = "REPORT "
+
+
+def _free_ports(count: int, host: str = "127.0.0.1") -> list[int]:
+    """Reserve ``count`` distinct free TCP ports.
+
+    All sockets are held open until every port is picked, then released
+    together — the small bind race before the children re-bind is
+    acceptable for a localhost harness.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+# ---------------------------------------------------------------------------
+# Child: one protocol process
+# ---------------------------------------------------------------------------
+
+
+async def _child_main(args: argparse.Namespace) -> int:
+    # Peer teardown races log per-socket warnings; a child whose stderr
+    # is an undrained pipe must never block on them.
+    logging.getLogger("asyncio").setLevel(logging.ERROR)
+    config = SystemConfig(n=args.n, t=args.t, seed=args.seed)
+    node = NetworkNode(
+        config, args.pid, tconfig=TransportConfig(), trace_level=TRACE_OFF
+    )
+    await node.start_server(args.port)
+    peers = {}
+    for entry in args.peers.split(","):
+        pid_str, port_str = entry.split(":")
+        peers[int(pid_str)] = (args.host, int(port_str))
+    node.set_peers(peers)
+    node.start_peers()
+    broadcast, vss = build_node_modules(node.host, with_vss=True)
+    coin = make_node_coin(node.host, "svss", broadcast=broadcast, vss=vss)
+
+    report: dict = {"pid": args.pid, "decisions": {}, "coins": {}}
+    decided: dict[str, int] = {}
+    process = None
+    if args.input is not None:
+        process = ABAProcess(
+            node.host,
+            broadcast,
+            coin,
+            instance_id=DEFAULT_INSTANCE,
+            on_decide=lambda v: decided.setdefault(DEFAULT_INSTANCE, v),
+        )
+        process.start(args.input)
+    coin_outputs: dict[int, int] = {}
+    for k in range(args.coins):
+        csid = ("cc", "solo", k)
+        coin.join(csid)
+        coin.get(csid, lambda v, k=k: coin_outputs.setdefault(k, v))
+        coin.release(csid)
+
+    def done() -> bool:
+        if process is not None and DEFAULT_INSTANCE not in decided:
+            return False
+        return len(coin_outputs) == args.coins
+
+    try:
+        await node.wait_for(done, timeout=args.timeout)
+    except TimeoutError:
+        report["timeout"] = True
+    if DEFAULT_INSTANCE in decided:
+        report["decisions"][DEFAULT_INSTANCE] = [
+            decided[DEFAULT_INSTANCE],
+            process.rounds_used,
+        ]
+    report["coins"] = {str(k): v for k, v in coin_outputs.items()}
+    report["stats"] = node.stats()
+    print(REPORT_PREFIX + json.dumps(report), flush=True)
+
+    # Stay online (serving retransmits to slower peers) until the parent
+    # releases us — or until stdin hits EOF because the parent died.  A
+    # pipe reader (not an executor thread blocked in readline) keeps the
+    # loop shutdown joinable.
+    loop = asyncio.get_running_loop()
+    stdin_reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(stdin_reader), sys.stdin
+    )
+    try:
+        await asyncio.wait_for(stdin_reader.readline(), timeout=args.timeout)
+    except asyncio.TimeoutError:
+        pass
+    await node.close()
+    return 1 if report.get("timeout") else 0
+
+
+# ---------------------------------------------------------------------------
+# Parent: spawn, collect, judge
+# ---------------------------------------------------------------------------
+
+
+async def run_processes(
+    n: int,
+    inputs: "list[int] | None" = None,
+    coins: int = 0,
+    seed: int = 0,
+    chaos: "str | None" = None,
+    kill_after: "dict[int, float] | None" = None,
+    timeout: float = 60.0,
+    host: str = "127.0.0.1",
+) -> dict:
+    """Run agreement (and ``coins`` coin flips) across n OS processes.
+
+    ``kill_after`` maps pid -> seconds: those children are SIGKILLed that
+    long into the run and never restarted — fail-stop crashes of up to t
+    processes; the verdict's liveness bar covers the survivors only.
+    Returns the :class:`NetVerdict` verdict dict with per-child
+    ``reports`` attached.
+    """
+    config = SystemConfig(n=n, seed=seed)
+    kill_after = kill_after or {}
+    if len(kill_after) > config.t:
+        raise ValueError(
+            f"killing {len(kill_after)} > t = {config.t} processes forfeits "
+            "the liveness bar"
+        )
+    ports = _free_ports(n, host)
+    port_of = {pid: ports[pid - 1] for pid in config.pids}
+    profile = resolve_profile(chaos)
+    proxies: dict[int, ChaosProxy] = {}
+    reach_of = dict(port_of)
+    if profile is not None:
+        for pid in config.pids:
+            proxy = ChaosProxy(
+                pid, (host, port_of[pid]), profile, seed, n, bind_host=host
+            )
+            await proxy.start()
+            proxies[pid] = proxy
+            reach_of[pid] = proxy.port
+    peers_arg = ",".join(f"{pid}:{reach_of[pid]}" for pid in config.pids)
+
+    async def spawn(pid: int):
+        argv = [
+            sys.executable, "-m", "repro.net.launch", "--child",
+            "--pid", str(pid), "--n", str(n), "--t", str(config.t),
+            "--seed", str(seed), "--host", host,
+            "--port", str(port_of[pid]), "--peers", peers_arg,
+            "--coins", str(coins), "--timeout", str(timeout),
+        ]
+        if inputs is not None:
+            argv += ["--input", str(inputs[pid - 1])]
+        return await asyncio.create_subprocess_exec(
+            *argv,
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            # Never PIPE stderr: nobody drains it, and a child blocked on
+            # a full stderr pipe can never reach an await to be released.
+            stderr=asyncio.subprocess.DEVNULL,
+        )
+
+    children = {pid: await spawn(pid) for pid in config.pids}
+
+    async def reap(pid: int, delay: float) -> None:
+        await asyncio.sleep(delay)
+        children[pid].kill()
+
+    reapers = [
+        asyncio.get_running_loop().create_task(reap(pid, delay))
+        for pid, delay in kill_after.items()
+    ]
+
+    async def read_report(pid: int) -> "dict | None":
+        child = children[pid]
+        while True:
+            line = await child.stdout.readline()
+            if not line:
+                return None
+            text = line.decode("utf-8", "replace").strip()
+            if text.startswith(REPORT_PREFIX):
+                return json.loads(text[len(REPORT_PREFIX):])
+
+    survivors = [pid for pid in config.pids if pid not in kill_after]
+    verdict = NetVerdict(n, config.t)
+    if inputs is not None:
+        verdict.expect_inputs(
+            DEFAULT_INSTANCE, {pid: inputs[pid - 1] for pid in config.pids}
+        )
+    gather = await asyncio.wait_for(
+        asyncio.gather(
+            *(read_report(pid) for pid in survivors), return_exceptions=True
+        ),
+        timeout=timeout + 15.0,
+    )
+    reports = {}
+    for pid, report in zip(survivors, gather):
+        if isinstance(report, dict):
+            reports[pid] = report
+            verdict.add_report(report)
+    for reaper in reapers:
+        if not reaper.done():
+            reaper.cancel()
+    for pid, child in children.items():
+        if pid in kill_after:
+            continue
+        try:
+            child.stdin.write(b"exit\n")
+            await child.stdin.drain()
+        except (ConnectionError, OSError):
+            pass
+    async def reap_child(child) -> None:
+        try:
+            await asyncio.wait_for(child.wait(), timeout=10.0)
+        except asyncio.TimeoutError:
+            child.kill()
+            await child.wait()
+
+    await asyncio.gather(
+        *(reap_child(child) for child in children.values()),
+        return_exceptions=True,
+    )
+    for proxy in proxies.values():
+        await proxy.close()
+    result = verdict.check(expect_all_decided=inputs is not None)
+    result["reports"] = reports
+    missing = [pid for pid in survivors if pid not in reports]
+    if missing:
+        result["violations"].append(
+            {
+                "kind": "no-report",
+                "message": f"children {missing} produced no report",
+                "detail": {"missing": missing},
+            }
+        )
+    return result
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Run agreement over n real OS processes"
+    )
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--t", type=int, default=-1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--coins", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--chaos", default=None)
+    parser.add_argument(
+        "--inputs", default=None, help="comma-separated, one per pid"
+    )
+    # child-only:
+    parser.add_argument("--pid", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument("--port", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument("--peers", default="", help=argparse.SUPPRESS)
+    parser.add_argument("--input", type=int, default=None, help=argparse.SUPPRESS)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.child:
+        return asyncio.run(_child_main(args))
+    inputs = None
+    if args.inputs is not None:
+        inputs = [int(v) for v in args.inputs.split(",")]
+        if len(inputs) != args.n:
+            raise SystemExit(f"need {args.n} inputs, got {len(inputs)}")
+    result = asyncio.run(
+        run_processes(
+            args.n,
+            inputs=inputs,
+            coins=args.coins,
+            seed=args.seed,
+            chaos=args.chaos,
+            timeout=args.timeout,
+        )
+    )
+    summary = {k: v for k, v in result.items() if k != "reports"}
+    print(json.dumps(summary, indent=2, default=repr))
+    return 1 if result["violations"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

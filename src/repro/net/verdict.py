@@ -1,0 +1,150 @@
+"""Cross-process invariant verdicts for multi-OS-process runs.
+
+The in-process :class:`~repro.net.cluster.NetCluster` shares one address
+space, so the PR 6 :class:`~repro.sim.monitor.InvariantMonitor` observes
+every hook live and raises *at the violating event*.  A
+:mod:`repro.net.launch` run has no shared address space: each OS process
+reports its observations as a JSON document (decisions with rounds, coin
+outputs, optionally its input), and :class:`NetVerdict` re-checks the
+same invariants over the collected reports after the fact:
+
+* **agreement-safety** — two honest processes never decide differently
+  in one instance;
+* **validity** — a unanimous input map forces that decision;
+* **coin-consistency** — per coin session, honest outputs either agree
+  or split (a legal outcome of the paper's coin — recorded, never a
+  violation), and agreement-rate tallies are reported so drivers can
+  check the ε bound statistically;
+* **liveness** — every process expected to decide did.
+
+``check()`` returns the verdict dict; any violation also lands in
+``verdict["violations"]`` and makes :attr:`safe` False.  The shape
+mirrors ``InvariantMonitor.verdict()`` where the fields overlap, so
+bench/CI gates can treat both uniformly.
+"""
+
+from __future__ import annotations
+
+
+class NetVerdict:
+    """Accumulate per-process reports, then judge the run."""
+
+    def __init__(self, n: int, t: int):
+        self.n = n
+        self.t = t
+        #: pid -> report dict, as produced by ``launch``'s child processes.
+        self.reports: dict[int, dict] = {}
+        #: instance -> pid -> input (for the validity check).
+        self._inputs: dict[object, dict[int, object]] = {}
+        self.violations: list[dict] = []
+
+    # -- feeding -----------------------------------------------------------
+    def expect_inputs(self, instance: object, inputs: dict[int, object]) -> None:
+        self._inputs[str(instance)] = dict(inputs)
+
+    def add_report(self, report: dict) -> None:
+        """One process' observations::
+
+            {"pid": 3,
+             "decisions": {"aba": [value, round], ...},
+             "coins": {"0": value, ...}}
+        """
+        pid = report["pid"]
+        if pid in self.reports:
+            self._violate(
+                "duplicate-report", {"pid": pid}, f"two reports from pid {pid}"
+            )
+        self.reports[pid] = report
+
+    def _violate(self, kind: str, detail: dict, message: str) -> None:
+        self.violations.append(
+            {"kind": kind, "message": message, "detail": detail}
+        )
+
+    # -- judging -----------------------------------------------------------
+    def check(self, expect_all_decided: bool = True) -> dict:
+        """Judge everything collected; returns the verdict dict."""
+        decisions: dict[str, dict[int, object]] = {}
+        rounds: dict[str, dict[int, int]] = {}
+        for pid, report in sorted(self.reports.items()):
+            for instance, entry in report.get("decisions", {}).items():
+                value, r = entry[0], entry[1]
+                per_pid = decisions.setdefault(instance, {})
+                for other, other_value in per_pid.items():
+                    if other_value != value:
+                        self._violate(
+                            "agreement-safety",
+                            {
+                                "instance": instance,
+                                "decisions": {other: other_value, pid: value},
+                            },
+                            f"processes {other} and {pid} decided "
+                            f"{other_value!r} vs {value!r} in {instance!r}",
+                        )
+                per_pid[pid] = value
+                rounds.setdefault(instance, {})[pid] = r
+        for instance, inputs in self._inputs.items():
+            values = set(inputs.values())
+            if len(inputs) == self.n and len(values) == 1:
+                expected = values.pop()
+                for pid, decided in decisions.get(instance, {}).items():
+                    if decided != expected:
+                        self._violate(
+                            "validity",
+                            {
+                                "instance": instance,
+                                "expected": expected,
+                                "pid": pid,
+                                "decided": decided,
+                            },
+                            f"unanimous input {expected!r} but process {pid} "
+                            f"decided {decided!r} in {instance!r}",
+                        )
+        if expect_all_decided:
+            reporters = set(self.reports)
+            # Union with the expected-input instances: a run where *no*
+            # process decided must still fail liveness.
+            expected_instances = set(decisions) | set(self._inputs)
+            for instance in sorted(expected_instances):
+                per_pid = decisions.get(instance, {})
+                missing = sorted(reporters - set(per_pid))
+                if missing:
+                    self._violate(
+                        "liveness",
+                        {"instance": instance, "missing": missing},
+                        f"processes {missing} reported but did not decide "
+                        f"{instance!r}",
+                    )
+        coin_outputs: dict[str, dict[int, object]] = {}
+        for pid, report in sorted(self.reports.items()):
+            for csid, value in report.get("coins", {}).items():
+                coin_outputs.setdefault(csid, {})[pid] = value
+        coin_agreed = 0
+        coin_split = 0
+        for outputs in coin_outputs.values():
+            if len(set(outputs.values())) <= 1:
+                coin_agreed += 1
+            else:
+                coin_split += 1
+        return {
+            "n": self.n,
+            "t": self.t,
+            "processes_reporting": len(self.reports),
+            "decisions": sorted(
+                (instance, pid, value, rounds[instance][pid])
+                for instance, per_pid in decisions.items()
+                for pid, value in per_pid.items()
+            ),
+            "max_round": max(
+                (r for per_pid in rounds.values() for r in per_pid.values()),
+                default=0,
+            ),
+            "coin_invocations": len(coin_outputs),
+            "coin_agreed": coin_agreed,
+            "coin_split": coin_split,
+            "violations": list(self.violations),
+        }
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations

@@ -32,12 +32,69 @@ constructors that take a host may simply call ``self.attach(host, ...)``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.errors import ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.process import Handler, ProcessHost
+
+
+@runtime_checkable
+class HostABC(Protocol):
+    """The host surface protocol modules are allowed to consume.
+
+    This is the *explicit* contract extracted from
+    :class:`~repro.sim.process.ProcessHost`: everything a
+    :class:`ProtocolModule` (or a driver holding one) may call on its
+    host, and nothing more.  Any object satisfying it can carry the full
+    stack — the simulated ``ProcessHost`` and the socket-backed
+    :class:`~repro.net.transport.NetworkHost` both do, and
+    ``tests/test_net_transport.py`` pins both conformances so the
+    contract is checked by type, not convention.
+
+    Beyond the members listed here, a host's ``runtime`` must expose the
+    driver surface modules reach through it: ``config``, ``field``,
+    ``trace``, ``monitor``, ``now``, ``notify_state_change()``,
+    ``routing_frozen``, ``batch_sends``, ``transmit``/``transmit_all``
+    and the aggregation flags (``coalesce``, ``svec`` and friends).
+    Keeping that indirection in one place is what lets the same module
+    code run over a simulated event queue and over real sockets.
+    """
+
+    pid: int
+    runtime: object
+    crashed: bool
+    crash_epoch: int
+
+    # -- module attachment -------------------------------------------------
+    def attach(self, name: object, module: object) -> None: ...
+
+    def detach(self, name: object) -> None: ...
+
+    def has_module(self, name: object) -> bool: ...
+
+    def module(self, name: object) -> object: ...
+
+    # -- handler registration ----------------------------------------------
+    def register_handler(self, tag: object, handler: "Handler") -> None: ...
+
+    def unregister_handler(self, tag: object) -> None: ...
+
+    def register_instance_handler(
+        self, tag: object, instance_id: object, handler: "Handler"
+    ) -> None: ...
+
+    def unregister_instance_handler(
+        self, tag: object, instance_id: object
+    ) -> None: ...
+
+    # -- wire --------------------------------------------------------------
+    def send(self, dst: int, payload: tuple, layer: str) -> None: ...
+
+    def send_all(self, payload: tuple, layer: str) -> None: ...
+
+    def deliver(self, src: int, payload: object) -> None: ...
 
 
 class ProtocolModule:

@@ -1,0 +1,173 @@
+"""Multi-OS-process launch harness + after-the-fact verdict tests.
+
+:class:`NetVerdict` is the cross-process replacement for the live
+:class:`InvariantMonitor`: children report JSON, the parent re-checks
+the paper's invariants over the collected reports.  The unit tests here
+attack the judge itself (it must catch every violation class and stay
+quiet on clean runs); the slow-marked test spawns real subprocesses
+end to end and cross-checks the decisions against the simulator run
+with identical inputs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.api import DEFAULT_INSTANCE, run_byzantine_agreement
+from repro.net.launch import run_processes
+from repro.net.verdict import NetVerdict
+from repro.sim.tracing import TRACE_OFF
+
+
+def _report(pid, decisions=None, coins=None):
+    return {
+        "pid": pid,
+        "decisions": {k: list(v) for k, v in (decisions or {}).items()},
+        "coins": coins or {},
+    }
+
+
+# ---------------------------------------------------------------------------
+# NetVerdict: the judge itself
+# ---------------------------------------------------------------------------
+
+
+def test_verdict_clean_run_is_safe():
+    v = NetVerdict(n=4, t=1)
+    v.expect_inputs("aba", {1: 1, 2: 1, 3: 1, 4: 1})
+    for pid in (1, 2, 3, 4):
+        v.add_report(_report(pid, {"aba": (1, pid)}))
+    verdict = v.check()
+    assert v.safe
+    assert verdict["violations"] == []
+    assert verdict["processes_reporting"] == 4
+    assert len(verdict["decisions"]) == 4
+    assert verdict["max_round"] == 4
+
+
+def test_verdict_catches_agreement_safety():
+    v = NetVerdict(n=4, t=1)
+    v.add_report(_report(1, {"aba": (0, 1)}))
+    v.add_report(_report(2, {"aba": (1, 1)}))
+    verdict = v.check(expect_all_decided=False)
+    assert not v.safe
+    assert [x["kind"] for x in verdict["violations"]] == ["agreement-safety"]
+
+
+def test_verdict_catches_validity():
+    v = NetVerdict(n=4, t=1)
+    v.expect_inputs("aba", {1: 1, 2: 1, 3: 1, 4: 1})
+    for pid in (1, 2, 3, 4):
+        v.add_report(_report(pid, {"aba": (0, 2)}))  # unanimous 1 -> decided 0
+    verdict = v.check()
+    kinds = {x["kind"] for x in verdict["violations"]}
+    assert "validity" in kinds
+    assert "agreement-safety" not in kinds  # they did agree — on the wrong bit
+
+
+def test_verdict_validity_not_triggered_by_split_inputs():
+    v = NetVerdict(n=4, t=1)
+    v.expect_inputs("aba", {1: 0, 2: 1, 3: 0, 4: 1})
+    for pid in (1, 2, 3, 4):
+        v.add_report(_report(pid, {"aba": (0, 3)}))
+    assert v.check()["violations"] == []
+
+
+def test_verdict_catches_partial_liveness():
+    v = NetVerdict(n=4, t=1)
+    v.add_report(_report(1, {"aba": (1, 2)}))
+    v.add_report(_report(2, {"aba": (1, 2)}))
+    v.add_report(_report(3))  # reported, never decided
+    verdict = v.check()
+    [violation] = verdict["violations"]
+    assert violation["kind"] == "liveness"
+    assert violation["detail"]["missing"] == [3]
+
+
+def test_verdict_catches_zero_decider_liveness():
+    """A run where *nobody* decided has no decision instances at all; the
+    expected-inputs union must still make it fail liveness."""
+    v = NetVerdict(n=4, t=1)
+    v.expect_inputs(DEFAULT_INSTANCE, {1: 1, 2: 1, 3: 1, 4: 1})
+    for pid in (1, 2, 3, 4):
+        v.add_report(_report(pid))
+    verdict = v.check()
+    kinds = [x["kind"] for x in verdict["violations"]]
+    assert kinds == ["liveness"]
+    assert verdict["violations"][0]["detail"]["missing"] == [1, 2, 3, 4]
+
+
+def test_verdict_liveness_waived_when_not_expected():
+    v = NetVerdict(n=4, t=1)
+    v.add_report(_report(1, {"aba": (1, 2)}))
+    v.add_report(_report(2))
+    assert v.check(expect_all_decided=False)["violations"] == []
+
+
+def test_verdict_catches_duplicate_report():
+    v = NetVerdict(n=4, t=1)
+    v.add_report(_report(2, {"aba": (1, 1)}))
+    v.add_report(_report(2, {"aba": (1, 1)}))
+    assert [x["kind"] for x in v.violations] == ["duplicate-report"]
+
+
+def test_verdict_coin_tallies_split_is_legal():
+    """Honest coin outputs may split (probability <= epsilon per session);
+    the verdict tallies agreed vs split but never flags a violation."""
+    v = NetVerdict(n=4, t=1)
+    for pid in (1, 2, 3, 4):
+        v.add_report(_report(pid, coins={"0": 1, "1": pid % 2}))
+    verdict = v.check(expect_all_decided=False)
+    assert verdict["coin_invocations"] == 2
+    assert verdict["coin_agreed"] == 1
+    assert verdict["coin_split"] == 1
+    assert verdict["violations"] == []
+
+
+# ---------------------------------------------------------------------------
+# End to end: real OS processes, judged by the same class
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_launch_four_processes_agrees_and_matches_sim():
+    """Four OS subprocesses run full-stack agreement (MW-SVSS coin) over
+    real sockets; every decision must be identical to the simulator run
+    on the same unanimous inputs — the transport must not be able to
+    change what the protocol decides."""
+    inputs = [1, 1, 1, 1]
+    seed = 77
+    verdict = asyncio.run(
+        run_processes(4, inputs=inputs, seed=seed, timeout=90)
+    )
+    assert verdict["violations"] == []
+    assert verdict["processes_reporting"] == 4
+    net_decisions = {
+        pid: value for _, pid, value, _ in verdict["decisions"]
+    }
+
+    sim = run_byzantine_agreement(
+        inputs, SystemConfig(n=4, seed=seed), trace_level=TRACE_OFF
+    )
+    assert sim.agreed
+    assert net_decisions == {pid: sim.decision for pid in (1, 2, 3, 4)}
+
+
+@pytest.mark.slow
+def test_launch_survives_one_killed_process():
+    """SIGKILL one child mid-run: the three survivors must still decide
+    (n=4, t=1 fail-stop) and the verdict stays clean."""
+    verdict = asyncio.run(
+        run_processes(
+            4, inputs=[0, 0, 0, 0], seed=78, timeout=90,
+            kill_after={3: 2.0},
+        )
+    )
+    assert verdict["violations"] == []
+    assert verdict["processes_reporting"] == 3
+    decided = {pid for _, pid, _, _ in verdict["decisions"]}
+    assert decided == {1, 2, 4}
+    assert {value for _, _, value, _ in verdict["decisions"]} == {0}

@@ -1,0 +1,408 @@
+"""Transport-layer tests: :mod:`repro.net.transport` over real sockets.
+
+Every test drives actual asyncio TCP connections on 127.0.0.1 inside
+``asyncio.run`` (the repo has no async test plugin).  Time constants are
+shrunk via :class:`TransportConfig` so supervision behaviour (DOWN
+marking, reconnect, backpressure) is observable in test-scale wall
+clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.api import build_stack
+from repro.net.cluster import NetCluster
+from repro.net.transport import (
+    PEER_DOWN,
+    NetworkHost,
+    NetworkNode,
+    TransportConfig,
+)
+from repro.sim.module import HostABC
+from repro.sim.monitor import InvariantMonitor
+from repro.sim.tracing import TRACE_OFF
+
+
+FAST = TransportConfig(
+    connect_timeout=0.5,
+    backoff_base=0.02,
+    backoff_max=0.2,
+    heartbeat_interval=0.1,
+    idle_timeout=1.0,
+    rto=0.1,
+    down_after=0.5,
+)
+
+
+def _pair(config, tconfig=FAST):
+    """Two started nodes wired to each other directly (no chaos)."""
+
+    async def build():
+        a = NetworkNode(config, 1, tconfig=tconfig, trace_level=TRACE_OFF)
+        b = NetworkNode(config, 2, tconfig=tconfig, trace_level=TRACE_OFF)
+        await a.start_server()
+        await b.start_server()
+        book = {1: ("127.0.0.1", a.port), 2: ("127.0.0.1", b.port)}
+        a.set_peers(book)
+        b.set_peers(book)
+        a.start_peers()
+        b.start_peers()
+        return a, b
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# HostABC conformance: the one protocol both host implementations honor.
+# ---------------------------------------------------------------------------
+
+
+def test_processhost_satisfies_hostabc(cfg4):
+    stack = build_stack(cfg4)
+    host = stack.runtime.host(1)
+    assert isinstance(host, HostABC)
+
+
+def test_networkhost_satisfies_hostabc(cfg4):
+    async def main():
+        node = NetworkNode(cfg4, 1, trace_level=TRACE_OFF)
+        assert isinstance(node.host, HostABC)
+        assert isinstance(node.host, NetworkHost)
+        # The runtime surface modules consume must exist and be sane.
+        rt = node.host.runtime
+        assert rt.config is cfg4
+        assert rt.batch_sends is True
+        assert rt.routing_frozen is False
+        await node.close()
+
+    asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Reliable delivery
+# ---------------------------------------------------------------------------
+
+
+def test_fifo_exactly_once_over_socket():
+    config = SystemConfig(n=2, t=0, seed=1)
+
+    async def main():
+        a, b = await _pair(config)()
+        got = []
+        b.host.register_handler("m", lambda src, msg: got.append(msg))
+        n_msgs = 3000
+        for i in range(n_msgs):
+            a.dispatch_out(2, ("m", i))
+        await b.wait_for(lambda: len(got) >= n_msgs, timeout=20)
+        assert got == [("m", i) for i in range(n_msgs)]
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_self_sends_loop_back_without_a_socket():
+    config = SystemConfig(n=2, t=0, seed=1)
+
+    async def main():
+        a = NetworkNode(config, 1, tconfig=FAST, trace_level=TRACE_OFF)
+        await a.start_server()
+        got = []
+        a.host.register_handler("m", lambda src, msg: got.append((src, msg)))
+        a.dispatch_out(1, ("m", "self"))
+        await a.wait_for(lambda: got, timeout=5)
+        assert got == [(1, ("m", "self"))]
+        await a.close()
+
+    asyncio.run(main())
+
+
+def test_reconnect_resync_after_transport_restart():
+    """Kill one node's transport mid-stream; peers must resync via the
+    epoch handshake and deliver everything queued meanwhile, in order."""
+    config = SystemConfig(n=2, t=0, seed=2)
+
+    async def main():
+        a, b = await _pair(config)()
+        got = []
+        b.host.register_handler("m", lambda src, msg: got.append(msg))
+        for i in range(100):
+            a.dispatch_out(2, ("m", i))
+        await b.wait_for(lambda: len(got) >= 100, timeout=10)
+
+        await b.stop_transport()
+        for i in range(100, 300):
+            a.dispatch_out(2, ("m", i))  # queued while b is dark
+        await asyncio.sleep(0.3)
+        await b.restart_transport()
+
+        await b.wait_for(lambda: len(got) >= 300, timeout=15)
+        assert got == [("m", i) for i in range(300)]
+        assert a.peers[2].stats.reconnects >= 2
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Supervision: DOWN marking, counted drops, backpressure
+# ---------------------------------------------------------------------------
+
+
+def test_unreachable_peer_goes_down_with_counted_ring_drops():
+    config = SystemConfig(n=2, t=0, seed=3)
+    tconfig = TransportConfig(
+        connect_timeout=0.2,
+        backoff_base=0.02,
+        backoff_max=0.1,
+        down_after=0.3,
+        down_queue_cap=50,
+    )
+
+    async def main():
+        a = NetworkNode(config, 1, tconfig=tconfig, trace_level=TRACE_OFF)
+        await a.start_server()
+        # Peer 2's address is a port nothing listens on.
+        dead = ("127.0.0.1", 1)
+        a.set_peers({1: ("127.0.0.1", a.port), 2: dead})
+        a.start_peers()
+        await a.wait_for(
+            lambda: a.peer_states().get(2) == PEER_DOWN, timeout=10
+        )
+        for i in range(300):
+            a.dispatch_out(2, ("m", i))
+        peer = a.peers[2]
+        assert peer.backlog <= 51
+        assert peer.stats.dropped_while_down >= 249
+        assert peer.stats.went_down == 1
+        # A DOWN peer must not close the node's backpressure gate.
+        assert a._gate.is_set()
+        await a.close()
+
+    asyncio.run(main())
+
+
+def test_backpressure_gate_blocks_pump_until_peer_goes_down():
+    """A live-but-stalled peer past high water pauses inbound dispatch
+    (honest senders block, nothing dropped); once the peer is marked DOWN
+    the node degrades gracefully and the pump resumes."""
+    config = SystemConfig(n=2, t=0, seed=4)
+    tconfig = TransportConfig(
+        connect_timeout=0.3,
+        backoff_base=0.02,
+        backoff_max=0.1,
+        queue_high_water=50,
+        queue_low_water=10,
+        down_after=1.0,
+    )
+
+    async def main():
+        # A sink that accepts connections and never answers: the peer
+        # stays CONNECTING (handshake never completes), so its backlog
+        # counts toward the gate.
+        async def swallow(reader, writer):
+            try:
+                while await reader.read(65536):
+                    pass
+            finally:
+                writer.close()
+
+        sink = await asyncio.start_server(swallow, "127.0.0.1", 0)
+        sink_port = sink.sockets[0].getsockname()[1]
+
+        a = NetworkNode(config, 1, tconfig=tconfig, trace_level=TRACE_OFF)
+        await a.start_server()
+        a.set_peers({1: ("127.0.0.1", a.port), 2: ("127.0.0.1", sink_port)})
+        a.start_peers()
+
+        got = []
+        a.host.register_handler("m", lambda src, msg: got.append(msg))
+        for i in range(100):  # > high water
+            a.dispatch_out(2, ("x", i))
+        assert not a._gate.is_set()
+
+        a.dispatch_out(1, ("m", "stuck"))  # self-send parks in the inbox
+        await asyncio.sleep(0.3)
+        assert got == []  # the pump is paused, not dropping
+
+        # down_after elapses -> peer DOWN -> gate reopens -> pump drains.
+        await a.wait_for(lambda: got == [("m", "stuck")], timeout=10)
+        assert a.peer_states()[2] == PEER_DOWN
+
+        await a.close()
+        sink.close()
+        await sink.wait_closed()
+
+    asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end agreement over the cluster harness
+# ---------------------------------------------------------------------------
+
+
+def test_agreement_over_sockets_unanimous(cfg4):
+    async def main():
+        cluster = NetCluster(cfg4, tconfig=FAST, with_vss=False)
+        await cluster.start()
+        try:
+            decisions = await cluster.run_agreement(
+                [1, 1, 1, 1], coin="local", timeout=30
+            )
+            assert decisions == {1: 1, 2: 1, 3: 1, 4: 1}
+        finally:
+            await cluster.close()
+
+    asyncio.run(main())
+
+
+def test_agreement_over_sockets_split_inputs_agrees(cfg4):
+    async def main():
+        cluster = NetCluster(cfg4, tconfig=FAST, with_vss=False)
+        await cluster.start()
+        try:
+            decisions = await cluster.run_agreement(
+                [0, 1, 0, 1], coin="local", timeout=30
+            )
+            assert len(decisions) == 4
+            assert len(set(decisions.values())) == 1  # agreement-safety
+        finally:
+            await cluster.close()
+
+    asyncio.run(main())
+
+
+def test_monitor_observes_cluster_run(cfg4):
+    async def main():
+        monitor = InvariantMonitor()
+        cluster = NetCluster(cfg4, tconfig=FAST, with_vss=False, monitor=monitor)
+        await cluster.start()
+        try:
+            decisions = await cluster.run_agreement(
+                [1, 1, 1, 1], coin="local", timeout=30
+            )
+            assert set(decisions.values()) == {1}
+        finally:
+            await cluster.close()
+        # The monitor raises InvariantViolation at the offending event;
+        # reaching here unraised means the run was clean.  The verdict
+        # proves the hooks actually fired through the net runtime.
+        verdict = monitor.verdict()
+        assert len(verdict["decisions"]) == 4
+        assert {value for _, _, value, _ in verdict["decisions"]} == {1}
+
+    asyncio.run(main())
+
+
+def test_kill_and_revive_within_t(cfg4):
+    """Agreement survives one transport-crashed node (n=4, t=1), and the
+    crashed node reconnects cleanly for the next instance."""
+
+    async def main():
+        cluster = NetCluster(cfg4, tconfig=FAST, with_vss=False)
+        await cluster.start()
+        try:
+            await cluster.kill_node(2)
+            first = await cluster.run_agreement(
+                [1, 1, 1, 1], coin="local", instance="r1",
+                timeout=30, faulty={2},
+            )
+            assert first == {1: 1, 3: 1, 4: 1}
+
+            await cluster.revive_node(2)
+            second = await cluster.run_agreement(
+                [0, 0, 0, 0], coin="local", instance="r2", timeout=30
+            )
+            assert second == {1: 0, 2: 0, 3: 0, 4: 0}
+        finally:
+            await cluster.close()
+
+    asyncio.run(main())
+
+
+def test_revive_heals_link_after_counted_ring_drops():
+    """Regression: while a peer is DOWN its queue ring-drops with
+    accounting; on revive the sender must announce its (advanced) base —
+    including drops racing the handshake itself — so the receiver jumps
+    the shed range instead of waiting forever for seqs that no longer
+    exist.  The tail sent after revival must arrive, in order."""
+    config = SystemConfig(n=2, t=0, seed=6)
+    tconfig = TransportConfig(
+        connect_timeout=0.5,
+        backoff_base=0.02,
+        backoff_max=0.2,
+        heartbeat_interval=0.1,
+        idle_timeout=1.5,
+        rto=0.1,
+        down_after=0.3,
+        down_queue_cap=50,
+    )
+
+    async def main():
+        a, b = await _pair(config, tconfig)()
+        got = []
+        b.host.register_handler("m", lambda src, msg: got.append(msg))
+        for i in range(20):
+            a.dispatch_out(2, ("m", i))
+        await b.wait_for(lambda: len(got) >= 20, timeout=10)
+
+        await b.stop_transport()
+        await a.wait_for(
+            lambda: a.peer_states().get(2) == PEER_DOWN, timeout=10
+        )
+        for i in range(20, 520):
+            a.dispatch_out(2, ("m", i))  # >> cap: the ring sheds, counted
+
+        # Keep traffic flowing while b restarts so ring drops race the
+        # HELLO/WELCOME handshake — the exact stall this regresses.
+        stop_spam = asyncio.Event()
+
+        async def spam():
+            i = 520
+            while not stop_spam.is_set():
+                a.dispatch_out(2, ("m", i))
+                i += 1
+                await asyncio.sleep(0.001)
+
+        spam_task = asyncio.get_running_loop().create_task(spam())
+        await b.restart_transport()
+        await asyncio.sleep(0.3)
+        stop_spam.set()
+        await spam_task
+        tail = [("m", i) for i in range(1000, 1005)]
+        for payload in tail:
+            a.dispatch_out(2, payload)
+
+        await b.wait_for(lambda: got[-5:] == tail, timeout=15)
+        assert a.peers[2].stats.dropped_while_down >= 300
+        # Everything delivered after the restart is still in seq order.
+        values = [i for _, i in got]
+        assert values == sorted(values)
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+@pytest.mark.slow
+def test_full_svss_coin_flip_over_sockets(cfg4):
+    """One complete MW-SVSS shunning-coin invocation across real TCP —
+    every process outputs a bit (~230k messages end to end)."""
+
+    async def main():
+        cluster = NetCluster(cfg4, trace_level=TRACE_OFF)
+        await cluster.start()
+        try:
+            outputs = await cluster.flip_coin(session=0, timeout=120)
+            assert set(outputs) == {1, 2, 3, 4}
+            assert set(outputs.values()) <= {0, 1}
+        finally:
+            await cluster.close()
+
+    asyncio.run(main())
