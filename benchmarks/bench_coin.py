@@ -19,9 +19,19 @@ and records, per mode:
 2. **Events per invocation** — the PR-4 gate stays: ≥2× fewer dispatched
    events at ``n = 7`` with coalescing on (measured >60×).
 3. **Wall-clock per invocation** — single-shot seconds, recorded for the
-   trajectory (n=7 drops ~29s → ~17s with svec+coalesce).
-4. **Equivalence** — the coin outputs of every process must be identical
-   across all four modes (both transports are output-pure under
+   trajectory.  Acceptance gate: the n=7 svec+coalesce invocation
+   finishes in under 10s (was ~17s before batched ingestion).
+4. **DMM verdict calls per invocation** — the per-slot-handler-work
+   metric of batched ingestion: grouping a slot-vector's sibling
+   sessions behind one group-level ``filter_verdict`` probe replaces n
+   per-slot calls with one (plus per-slot fallbacks only on
+   divergence).  The ``svec_coalesce_unbatched`` mode re-runs the
+   aggregated transport with ``batch_ingest=False`` so the A/B is
+   measured inside one artifact.  Acceptance gate: ≥3× fewer verdict
+   calls at ``n = 7`` with batching on.
+5. **Equivalence** — the coin outputs of every process must be identical
+   across all modes, including batched vs unbatched ingestion (both
+   transports and both ingestion paths are output-pure under
    fixed-delay schedulers).
 
 ``n = 10`` runs the svec modes only and is gated on *finishing*: its
@@ -37,6 +47,7 @@ diffable across PRs, next to the other ``BENCH_*.json`` files.
 
 from __future__ import annotations
 
+import gc
 import time
 
 from bench_common import (
@@ -54,19 +65,35 @@ SEED = 5
 GATE_N = 7
 GATE_EVENTS_REDUCTION = 2.0  # coalesce gate (PR 4)
 GATE_LOGICAL_REDUCTION = 4.0  # svec gate (PR 5)
+GATE_VERDICT_REDUCTION = 3.0  # batched-ingestion gate (PR 8)
+GATE_SECONDS = 10.0  # n=7 svec+coalesce wall-clock gate (PR 8)
 
 #: mode name -> fast_coin_flip kwargs; the svec on/off × coalesce on/off
-#: matrix.  At N_LARGE only the aggregated modes are feasible.
+#: matrix, plus the batched-ingestion A/B on the aggregated transport
+#: (svec modes default to batched; ``_unbatched`` pins the per-slot
+#: path).  At N_LARGE only the aggregated modes are feasible.
+#: Declaration order is measurement order: the aggregated modes run
+#: FIRST at each n so the wall-clock gate isn't poisoned by the heap a
+#: preceding per-session n=7 run leaves behind (allocator fragmentation
+#: after a ~9M-logical-message run costs the next run ~2×).
 MODES = {
-    "plain": {},
+    "svec_coalesce": {"svec": True, "coalesce": True, "batch_ingest": True},
+    "svec_coalesce_unbatched": {
+        "svec": True,
+        "coalesce": True,
+        "batch_ingest": False,
+    },
+    "svec": {"svec": True, "batch_ingest": True},
     "coalesce": {"coalesce": True},
-    "svec": {"svec": True},
-    "svec_coalesce": {"svec": True, "coalesce": True},
+    "plain": {},
 }
 LARGE_MODES = ("svec", "svec_coalesce")
 
 
 def _measure(n: int, mode: str) -> tuple[dict, dict]:
+    # Start every mode from a collected heap so timings are per-mode,
+    # not a function of what the previous invocation left uncollected.
+    gc.collect()
     start = time.perf_counter()
     result = fast_coin_flip(n, SEED, **MODES[mode])
     seconds = time.perf_counter() - start
@@ -79,6 +106,10 @@ def _measure(n: int, mode: str) -> tuple[dict, dict]:
         "payloads_coalesced": result.payloads_coalesced,
         "svec_packed": result.svec_packed,
         "svec_slots": result.svec_slots,
+        "svec_batch_ingested": result.svec_batch_ingested,
+        "dmm_verdicts_batched": result.dmm_verdicts_batched,
+        "dmm_verdict_fallbacks": result.dmm_verdict_fallbacks,
+        "dmm_verdict_calls": result.dmm_verdict_calls,
     }
     return record, dict(result.outputs)
 
@@ -102,6 +133,10 @@ def _series() -> list[dict]:
         )
         row["wall_clock_speedup"] = (
             row["plain"]["seconds"] / row["svec_coalesce"]["seconds"]
+        )
+        row["verdict_calls_reduction"] = (
+            row["svec_coalesce_unbatched"]["dmm_verdict_calls"]
+            / row["svec_coalesce"]["dmm_verdict_calls"]
         )
         rows.append(row)
     return rows
@@ -140,6 +175,10 @@ def test_bench_coin(emit):
                 f"n={GATE_N} with svec on",
                 f">= {GATE_EVENTS_REDUCTION}x fewer events at n={GATE_N} "
                 "with coalescing on",
+                f">= {GATE_VERDICT_REDUCTION}x fewer DMM verdict calls at "
+                f"n={GATE_N} with batched ingestion on",
+                f"n={GATE_N} svec+coalesce invocation under "
+                f"{GATE_SECONDS:.0f}s wall-clock",
                 f"n={N_LARGE} aggregated run finishes under the "
                 f"{DEFAULT_MAX_EVENTS // 10**6}M-event guard",
             ],
@@ -155,6 +194,9 @@ def test_bench_coin(emit):
             f"{row['svec']['logical_messages']:,}",
             f"{row['logical_reduction']:.1f}x",
             f"{row['svec_coalesce']['events_dispatched']:,}",
+            f"{row['svec_coalesce_unbatched']['dmm_verdict_calls']:,}",
+            f"{row['svec_coalesce']['dmm_verdict_calls']:,}",
+            f"{row['verdict_calls_reduction']:.1f}x",
             f"{row['plain']['seconds']:.2f}",
             f"{row['svec_coalesce']['seconds']:.2f}",
             f"{row['wall_clock_speedup']:.2f}x",
@@ -169,15 +211,19 @@ def test_bench_coin(emit):
             "-",
             f"{large['svec_coalesce']['events_dispatched']:,}",
             "-",
+            f"{large['svec_coalesce']['dmm_verdict_calls']:,}",
+            "-",
+            "-",
             f"{large['svec_coalesce']['seconds']:.2f}",
             "-",
         ]
     )
     emit(
         render_table(
-            "SVSS common coin: svec on/off x coalesce on/off",
+            "SVSS common coin: svec/coalesce/batch-ingest matrix",
             ["n", "logical plain", "logical svec", "reduction",
-             "events svec+coal", "s plain", "s svec+coal", "speedup"],
+             "events svec+coal", "verdicts unbatched", "verdicts batched",
+             "verdict redux", "s plain", "s svec+coal", "speedup"],
             table_rows,
             note=(
                 "full share+reveal, unit-delay FIFO, TRACE_OFF; outputs "
@@ -186,10 +232,15 @@ def test_bench_coin(emit):
         )
     )
 
-    # Acceptance gates of PR 5 (svec) and PR 4 (coalesce).
+    # Acceptance gates of PR 8 (batched ingestion), PR 5 (svec), PR 4
+    # (coalesce).
     gate_row = next(row for row in series if row["n"] == GATE_N)
     assert gate_row["logical_reduction"] >= GATE_LOGICAL_REDUCTION, gate_row
     assert gate_row["events_reduction"] >= GATE_EVENTS_REDUCTION, gate_row
+    assert gate_row["verdict_calls_reduction"] >= GATE_VERDICT_REDUCTION, (
+        gate_row
+    )
+    assert gate_row["svec_coalesce"]["seconds"] < GATE_SECONDS, gate_row
     for row in series:
         assert row["outputs_identical"], row
         # Both layers must actually carry traffic (not degenerate wins).
@@ -199,6 +250,11 @@ def test_bench_coin(emit):
             > row["coalesce"]["envelopes_pushed"]
             > 0
         )
+        # The batched path must actually engage — and the pinned-off mode
+        # must stay on the per-slot path (the A/B is real).
+        assert row["svec_coalesce"]["svec_batch_ingested"] > 0
+        assert row["svec_coalesce"]["dmm_verdicts_batched"] > 0
+        assert row["svec_coalesce_unbatched"]["svec_batch_ingested"] == 0
     # The headline structural claim: the n = 10 coin is routinely benchable.
     assert large["outputs_identical"]
     assert large["svec_coalesce"]["events_dispatched"] < DEFAULT_MAX_EVENTS

@@ -107,7 +107,13 @@ def fast_batch(k: int, n: int, seed: int, coin, coalesce_votes: bool = False, **
     return result
 
 
-def fast_coin_flip(n: int, seed: int, coalesce: bool = False, svec: bool = False):
+def fast_coin_flip(
+    n: int,
+    seed: int,
+    coalesce: bool = False,
+    svec: bool = False,
+    batch_ingest: bool | None = None,
+):
     """One canonical SVSS common-coin invocation (unit-delay FIFO,
     ``TRACE_OFF``); asserts every process output a bit."""
     result, stack = flip_common_coin(
@@ -116,6 +122,7 @@ def fast_coin_flip(n: int, seed: int, coalesce: bool = False, svec: bool = False
         trace_level=TRACE_OFF,
         coalesce=coalesce,
         svec=svec,
+        batch_ingest=batch_ingest,
     )
     assert set(result.outputs) == set(stack.config.pids), (
         f"n={n} coalesce={coalesce} svec={svec}: "

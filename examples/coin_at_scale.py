@@ -12,6 +12,12 @@ envelope per (src, dst) pair per step) the same invocation is ~10.5M
 logical messages on ~850k events and completes in minutes, with
 bit-identical coin outputs.
 
+Batched ingestion (on by default, ``REPRO_BATCH_INGEST=0`` to compare)
+then attacks the receive side: each slot-vector is admitted through one
+group-level DMM verdict probe instead of n per-slot calls, and its
+sibling-session transitions run as structure-of-arrays rows — same
+outputs, a fraction of the per-slot handler work.
+
 Run:  python examples/coin_at_scale.py [n]   (default n = 10)
 """
 
@@ -54,6 +60,14 @@ def main() -> None:
           f"~{result.svec_slots / max(1, result.svec_packed):.1f} slots each)")
     print(f"  envelopes        : {result.envelopes_pushed:,} "
           f"(carrying {result.payloads_coalesced:,} logical messages)")
+    if result.svec_batch_ingested:
+        print(f"batched ingestion  : {result.svec_batch_ingested:,} vectors "
+              f"group-admitted ({result.dmm_verdicts_batched:,} slot verdicts "
+              f"batched, {result.dmm_verdict_fallbacks:,} per-slot fallbacks)")
+        print(f"DMM verdict calls  : {result.dmm_verdict_calls:,}")
+    else:
+        print(f"batched ingestion  : off (per-slot path; "
+              f"{result.dmm_verdict_calls:,} DMM verdict calls)")
     print(f"logical msgs/event : {result.logical_messages / result.events_dispatched:.1f}")
     print(f"throughput         : {result.logical_messages / wall:,.0f} "
           "logical messages/s")

@@ -168,6 +168,18 @@ class BroadcastManager(ProtocolModule):
             raise ProtocolError(f"weak topic {topic!r} already subscribed")
         self._wrb_handlers[topic] = handler
 
+    def route_topic(self, origin: int, value: tuple) -> None:
+        """Route ``value`` through the topic table as if RB-delivered.
+
+        The re-entry point for aggregation layers (the agreement vote
+        vectors of :class:`~repro.core.agreement.VoteVectorMux`): one
+        delivered vector fans back out into its per-instance values, each
+        taking the exact demux path a plain per-vote broadcast takes —
+        including the unknown-topic / malformed-value drops of
+        :meth:`_route`.
+        """
+        self._route(self._topic_handlers, origin, value)
+
     def broadcast(self, bid: tuple, value: tuple) -> None:
         """Reliably broadcast ``value`` under id ``bid``.
 
@@ -248,12 +260,31 @@ class BroadcastManager(ProtocolModule):
         _, bid, value = payload
         if not isinstance(bid, tuple) or not bid:
             return
-        inst = self._instance(bid)
-        try:
-            count = self._tally(inst, _FIRST2, inst[_COUNTS2], src, value)
-        except TypeError:
-            return  # unhashable garbage from a byzantine sender
-        if count and not inst[_ACCEPTED] and count >= self.n - self.t:
+        inst = self._instances.get(bid)
+        if inst is None:
+            inst = self._instance(bid)
+        if inst[_ACCEPTED]:
+            # Acceptance is one-shot per bid: nothing ever reads the b2
+            # tally again, so late echoes are dead work — drop them.
+            return
+        first = inst[_FIRST2]
+        if src not in first:
+            # Every honest echo is its sender's first value — inline that
+            # path (same semantics as _tally's first branch, one call and
+            # one probe fewer); multi-value senders take the slow path.
+            counts = inst[_COUNTS2]
+            try:
+                count = counts.get(value, 0) + 1
+            except TypeError:
+                return  # unhashable garbage from a byzantine sender
+            first[src] = value
+            counts[value] = count
+        else:
+            try:
+                count = self._tally(inst, _FIRST2, inst[_COUNTS2], src, value)
+            except TypeError:
+                return
+        if count and count >= self.n - self.t:
             inst[_ACCEPTED] = True
             self._on_wrb_accept(bid, value)
 
@@ -283,17 +314,35 @@ class BroadcastManager(ProtocolModule):
         _, bid, value = payload
         if not isinstance(bid, tuple) or not bid:
             return
-        inst = self._instance(bid)
-        try:
-            count = self._tally(inst, _FIRST3, inst[_COUNTS3], src, value)
-        except TypeError:
+        inst = self._instances.get(bid)
+        if inst is None:
+            inst = self._instance(bid)
+        if inst[_DELIVERED]:
+            # Delivery is one-shot per bid, and the n-t ≥ t+1 threshold
+            # means the echo-amplification flag was set on the way there:
+            # post-delivery echoes are dead work — drop them.
             return
-        if not count:
-            return
+        first = inst[_FIRST3]
+        if src not in first:
+            # Inline first-echo fast path — see _on_b2.
+            counts = inst[_COUNTS3]
+            try:
+                count = counts.get(value, 0) + 1
+            except TypeError:
+                return
+            first[src] = value
+            counts[value] = count
+        else:
+            try:
+                count = self._tally(inst, _FIRST3, inst[_COUNTS3], src, value)
+            except TypeError:
+                return
+            if not count:
+                return
         if not inst[_SENT3] and count >= self.t + 1:
             inst[_SENT3] = True
             self.host.send_all(("b3", bid, value), _layer_for(bid))
-        if not inst[_DELIVERED] and count >= self.n - self.t:
+        if count >= self.n - self.t:
             inst[_DELIVERED] = True
             origin = bid[0]
             self.delivered_values[bid] = (origin, value)

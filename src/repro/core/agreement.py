@@ -77,6 +77,115 @@ DecideCallback = Callable[[int], None]
 #: The broadcast topic every agreement instance shares.
 TOPIC = "aba"
 
+#: Reserved topic of packed vote vectors (see :class:`VoteVectorMux`).
+ABAV_TAG = "abav"
+
+
+class VoteVectorMux(ProtocolModule):
+    """Step-window packer of a host's concurrent agreement votes.
+
+    The session-vector move one layer up: ``K`` concurrent
+    :class:`ABAProcess` instances advance in lock-step under a fixed-delay
+    scheduler, so each dispatch step ends with the host holding ``K``
+    structurally identical votes — one per instance — for the same
+    ``(round, phase)``.  Instead of ``K`` reliable broadcasts (each with
+    its own O(n²) echo cascade) the mux emits one
+
+        ``("abav", seq, ((instance_id, r, phase, vote), ...))``
+
+    under bid ``(pid, "abav", seq)``; the receive side fans the vector back
+    out through :meth:`~repro.broadcast.manager.BroadcastManager.route_topic`,
+    so every entry takes the exact :class:`~repro.sim.process.InstanceSlots`
+    demux path — per-instance validation, per-origin dedup — a plain
+    per-vote broadcast takes.
+
+    One mux per host, created lazily by the first ``ABAProcess._wire`` and
+    shared by every instance the host runs.  Packing preserves the
+    per-vote adversarial surface the same way the session vectors do:
+
+    * corrupt senders never pack — a host with a byzantine behaviour or an
+      outbound filter broadcasts plain per-instance votes, so vote
+      mutators and crash budgets keep acting on logical votes (a forged
+      ``("abav", ...)`` vector is unpacked with full per-entry validation
+      and grants nothing beyond broadcasting the votes individually);
+    * a receiver that crashes while fanning out entry ``k`` drops the
+      remaining entries, exactly as it would drop the remaining per-vote
+      deliveries;
+    * solo runs (fewer than two live instances) never pack, so a
+      single-agreement run replays the per-vote wire stream bit for bit.
+    """
+
+    MODULE_KIND = ABAV_TAG
+
+    def __init__(self, host: ProcessHost, broadcast: BroadcastManager):
+        super().__init__()
+        self._broadcast = broadcast
+        #: Buffered (bid, value) pairs of the open step, in program order.
+        self._pending: list[tuple[tuple, tuple]] = []
+        self._deferred = False
+        #: Disambiguates successive flushes' bids (cf. SessionVectorMux).
+        self._seq = 0
+        #: Live ABAProcess instances on this host; packing needs >= 2.
+        self.live = 0
+        self.attach(host)
+
+    def _wire(self, host: ProcessHost) -> None:
+        self.subscribe(self._broadcast, ABAV_TAG, self._on_rb)
+
+    # -- send side ---------------------------------------------------------
+    def offer(self, bid: tuple, value: tuple) -> bool:
+        """Buffer one vote broadcast; False = caller broadcasts plain."""
+        host = self.host
+        runtime = host.runtime
+        if not runtime.svec or not runtime.svec_buffering or self.live < 2:
+            return False
+        if host.behavior is not None or host.outbound_filter is not None:
+            return False
+        self._pending.append((bid, value))
+        if not self._deferred:
+            self._deferred = True
+            runtime.svec_defer(self)
+        return True
+
+    def flush(self) -> None:
+        """Emit the step's buffer: one vector, plain for singletons."""
+        self._deferred = False
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        if len(pending) == 1:
+            bid, value = pending[0]
+            self._broadcast.broadcast(bid, value)
+            return
+        seq = self._seq
+        self._seq = seq + 1
+        # value = (TOPIC, instance_id, r, phase, vote); strip the shared
+        # topic, keep the rest as the entry.
+        entries = tuple(value[1:] for _, value in pending)
+        self._broadcast.broadcast(
+            (self.host.pid, ABAV_TAG, seq), (ABAV_TAG, seq, entries)
+        )
+        runtime = self.host.runtime
+        runtime.svec_packed += 1
+        runtime.svec_slots += len(pending)
+
+    # -- receive side ------------------------------------------------------
+    def _on_rb(self, origin: int, value: tuple) -> None:
+        if len(value) != 3 or type(value[2]) is not tuple:
+            return
+        host = self.host
+        epoch = host.crash_epoch
+        route = self._broadcast.route_topic
+        for entry in value[2]:
+            if host.crashed or host.crash_epoch != epoch:
+                # Crash mid-vector: the remaining votes die too, exactly
+                # like the remaining per-vote deliveries would.
+                return
+            if type(entry) is not tuple or len(entry) != 4:
+                continue
+            iid, r, phase, vote = entry
+            route(origin, (TOPIC, iid, r, phase, vote))
+
 
 class _Round:
     """Per-round vote bookkeeping.
@@ -151,6 +260,19 @@ class ABAProcess(ProtocolModule):
         #: the original O(n²) fixpoint on every delivery.
         self._debug_fixpoint = host.runtime.trace.records_events
         self.subscribe_slot(self._broadcast, TOPIC, self._on_rb)
+        # The host's shared vote-vector packer (created by whichever
+        # instance wires first); live-instance accounting gates packing.
+        if host.has_module(ABAV_TAG):
+            mux = host.module(ABAV_TAG)
+        else:
+            mux = VoteVectorMux(host, self._broadcast)
+        self._vote_mux = mux
+        mux.live += 1
+
+    def _on_close(self) -> None:
+        # A halted instance stops counting toward the packing gate (a
+        # last survivor falls back to plain per-vote broadcasts).
+        self._vote_mux.live -= 1
 
     # ------------------------------------------------------------------
     # public API
@@ -205,7 +327,9 @@ class ABAProcess(ProtocolModule):
         if deviate is not None:
             vote = deviate(r, phase, vote)
         bid = (self.pid, TOPIC, self.instance_id, r, phase)
-        self._broadcast.broadcast(bid, (TOPIC, self.instance_id, r, phase, vote))
+        value = (TOPIC, self.instance_id, r, phase, vote)
+        if not self._vote_mux.offer(bid, value):
+            self._broadcast.broadcast(bid, value)
 
     # ------------------------------------------------------------------
     # vote intake and validation

@@ -137,6 +137,7 @@ def build_stack(
     instances: int | Sequence[object] = 1,
     coalesce: bool = False,
     svec: bool = False,
+    batch_ingest: bool | None = None,
 ) -> Stack:
     """Assemble runtime, broadcast and (optionally) VSS for every process.
 
@@ -168,6 +169,13 @@ def build_stack(
     coin's logical message bill ~n× while keeping coin outputs and every
     per-session justifier bit-identical under fixed-delay schedulers.
     Composes with ``coalesce`` (vectors still ride envelopes).
+
+    ``batch_ingest`` controls the receive side of ``svec``: on (the
+    default; ``None`` reads ``REPRO_BATCH_INGEST``), each received vector
+    is consumed through one group-level DMM verdict and one
+    structure-of-arrays lane transition (``VSSManager.ingest_vector``)
+    instead of n per-slot ingestion chains — slot-for-slot equivalent,
+    A/B-gated in CI.
     """
     if measure_bytes and trace_level < TRACE_COUNTS:
         raise ConfigurationError(
@@ -182,6 +190,7 @@ def build_stack(
         engine=engine,
         coalesce=coalesce,
         svec=svec,
+        batch_ingest=batch_ingest,
     )
     runtime.trace.measure_bytes = measure_bytes
     broadcasts = {}
@@ -350,6 +359,13 @@ class AgreementResult:
     #: aggregation ratios from here, never from the ``Runtime``).
     svec_packed: int = 0
     svec_slots: int = 0
+    #: Batched-ingestion counters: vectors consumed by the batched path,
+    #: slots resolved by a group-level DMM verdict, slots that fell back
+    #: to per-slot verdicts, and total DMM verdict computations.
+    svec_batch_ingested: int = 0
+    dmm_verdicts_batched: int = 0
+    dmm_verdict_fallbacks: int = 0
+    dmm_verdict_calls: int = 0
 
     @property
     def logical_messages(self) -> int:
@@ -405,6 +421,7 @@ def run_byzantine_agreement(
     engine: str = ENGINE_FLAT,
     coalesce: bool = False,
     svec: bool = False,
+    batch_ingest: bool | None = None,
     monitor: InvariantMonitor | None = None,
 ) -> AgreementResult:
     """Run one asynchronous Byzantine agreement to completion.
@@ -436,6 +453,7 @@ def run_byzantine_agreement(
         instances=(tag,),
         coalesce=coalesce,
         svec=svec,
+        batch_ingest=batch_ingest,
     )
     coins = make_coins(stack, coin, instance=tag)
     input_map = _normalize_inputs(inputs, config)
@@ -499,6 +517,10 @@ def run_byzantine_agreement(
         payloads_coalesced=stack.runtime.payloads_coalesced,
         svec_packed=stack.runtime.svec_packed,
         svec_slots=stack.runtime.svec_slots,
+        svec_batch_ingested=stack.runtime.svec_batch_ingested,
+        dmm_verdicts_batched=stack.runtime.dmm_verdicts_batched,
+        dmm_verdict_fallbacks=stack.runtime.dmm_verdict_fallbacks,
+        dmm_verdict_calls=stack.runtime.dmm_verdict_calls,
     )
 
 
@@ -532,6 +554,10 @@ class BatchAgreementResult:
     payloads_coalesced: int = 0
     svec_packed: int = 0
     svec_slots: int = 0
+    svec_batch_ingested: int = 0
+    dmm_verdicts_batched: int = 0
+    dmm_verdict_fallbacks: int = 0
+    dmm_verdict_calls: int = 0
 
     @property
     def logical_messages(self) -> int:
@@ -574,6 +600,7 @@ def run_byzantine_agreement_batch(
     share_coin: bool = True,
     coalesce_votes: bool = False,
     svec: bool = False,
+    batch_ingest: bool | None = None,
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
@@ -627,6 +654,7 @@ def run_byzantine_agreement_batch(
         instances=instance_ids,
         coalesce=coalesce_votes,
         svec=svec,
+        batch_ingest=batch_ingest,
     )
     input_maps = {
         iid: _normalize_inputs(rows[k], config)
@@ -740,6 +768,10 @@ def run_byzantine_agreement_batch(
         payloads_coalesced=stack.runtime.payloads_coalesced,
         svec_packed=stack.runtime.svec_packed,
         svec_slots=stack.runtime.svec_slots,
+        svec_batch_ingested=stack.runtime.svec_batch_ingested,
+        dmm_verdicts_batched=stack.runtime.dmm_verdicts_batched,
+        dmm_verdict_fallbacks=stack.runtime.dmm_verdict_fallbacks,
+        dmm_verdict_calls=stack.runtime.dmm_verdict_calls,
     )
 
 
@@ -909,6 +941,10 @@ class CoinResult:
     payloads_coalesced: int = 0
     svec_packed: int = 0
     svec_slots: int = 0
+    svec_batch_ingested: int = 0
+    dmm_verdicts_batched: int = 0
+    dmm_verdict_fallbacks: int = 0
+    dmm_verdict_calls: int = 0
 
     @property
     def logical_messages(self) -> int:
@@ -929,6 +965,7 @@ def flip_common_coin(
     engine: str = ENGINE_FLAT,
     coalesce: bool = False,
     svec: bool = False,
+    batch_ingest: bool | None = None,
 ) -> tuple[CoinResult, Stack]:
     """Run one full SVSS-based shunning common coin invocation."""
     config.require_optimal_resilience()
@@ -940,6 +977,7 @@ def flip_common_coin(
         engine=engine,
         coalesce=coalesce,
         svec=svec,
+        batch_ingest=batch_ingest,
     )
     coins = make_coins(stack, "svss")
     csid = ("cc", "solo", session)
@@ -971,6 +1009,10 @@ def flip_common_coin(
         payloads_coalesced=stack.runtime.payloads_coalesced,
         svec_packed=stack.runtime.svec_packed,
         svec_slots=stack.runtime.svec_slots,
+        svec_batch_ingested=stack.runtime.svec_batch_ingested,
+        dmm_verdicts_batched=stack.runtime.dmm_verdicts_batched,
+        dmm_verdict_fallbacks=stack.runtime.dmm_verdict_fallbacks,
+        dmm_verdict_calls=stack.runtime.dmm_verdict_calls,
     )
     return result, stack
 

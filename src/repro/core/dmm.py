@@ -39,14 +39,26 @@ The delay rule only ever fires for sessions ``σ`` with ``σ →_i σ'``, and
 filter keeps a per-sender index of exactly those ("armed") sessions.
 During the share phase pending expectations are plentiful but unarmed, and
 the filter stays O(1).
+
+The armed index is collapsed one step further for the hot path: since
+``precedes(σ, σ')`` is ``completed[σ] < begun[σ']``, a sender delays
+session ``σ'`` iff the *minimum* completed tick over its armed sessions is
+below ``begun[σ']`` — so :meth:`DMM.filter_verdict` is a single dict probe
+per message even while dozens of sessions are armed (reconstruct storms),
+and :meth:`DMM.filter_verdict_group` can answer for a whole slot-vector at
+once.  ``version`` ticks on every state change that can flip some verdict
+(conviction, arming, disarming), which is what lets batch ingestion cache
+a group verdict across a vector's slots, and ``dirty`` names the senders
+whose verdicts may have moved since the delayed-message index last looked
+(consumed by ``VSSManager._release_delayed``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
-from repro.core.sessions import SessionClock
+from repro.core.sessions import SessionClock, svec_sid
 
 #: verdicts of :meth:`DMM.filter_verdict`
 FORWARD = "forward"
@@ -80,6 +92,18 @@ class DMM:
         # pending sessions whose reconstruct completed locally, per sender —
         # the only ones the delay rule can fire on
         self._armed: defaultdict[int, set[tuple]] = defaultdict(set)
+        # sender -> min completed-tick over its armed sessions (only armed
+        # sessions that actually carry a completed clock stamp — the only
+        # ones precedes() can fire on); kept in lockstep with _armed so the
+        # filter is one dict probe.
+        self._armed_min_done: dict[int, int] = {}
+        #: bumped on every state change that can flip some verdict
+        #: (conviction, arming, disarming); group verdicts are only valid
+        #: while the version is unchanged.
+        self.version = 0
+        #: senders whose verdicts may have changed since the manager's
+        #: delayed-message index last examined them.
+        self.dirty: set[int] = set()
         self._completed_sessions: set[tuple] = set()
         # reconstruct batches already seen: (sender, session) -> {monitor: value}
         self._seen_batches: dict[tuple[int, tuple], dict[int, int]] = {}
@@ -128,7 +152,28 @@ class DMM:
         per[session] = per.get(session, 0) + 1
         self._session_senders[session].add(sender)
         if session in self._completed_sessions:
-            self._armed[sender].add(session)
+            self._arm(sender, session)
+
+    def _arm(self, sender: int, session: tuple) -> None:
+        """Arm ``session`` for ``sender`` and maintain the min-tick index.
+
+        Only a state change that can flip a verdict bumps ``version`` /
+        ``dirty`` — re-arming an already-armed session with an unchanged
+        minimum leaves both alone.
+        """
+        armed = self._armed[sender]
+        changed = session not in armed
+        if changed:
+            armed.add(session)
+        done = self.clock.completed.get(session)
+        if done is not None:
+            cur = self._armed_min_done.get(sender)
+            if cur is None or done < cur:
+                self._armed_min_done[sender] = done
+                changed = True
+        if changed:
+            self.version += 1
+            self.dirty.add(sender)
 
     def _dec_pending(self, sender: int, session: tuple, by: int = 1) -> None:
         per = self._pending.get(sender)
@@ -139,10 +184,22 @@ class DMM:
             del per[session]
             self._session_senders.get(session, set()).discard(sender)
             armed = self._armed.get(sender)
-            if armed is not None:
+            if armed is not None and session in armed:
                 armed.discard(session)
                 if not armed:
                     del self._armed[sender]
+                    self._armed_min_done.pop(sender, None)
+                elif self._armed_min_done.get(sender) == self.clock.completed.get(
+                    session
+                ):
+                    completed = self.clock.completed
+                    ticks = [completed[s] for s in armed if s in completed]
+                    if ticks:
+                        self._armed_min_done[sender] = min(ticks)
+                    else:
+                        self._armed_min_done.pop(sender, None)
+                self.version += 1
+                self.dirty.add(sender)
             if not per:
                 del self._pending[sender]
 
@@ -153,7 +210,7 @@ class DMM:
         self._completed_sessions.add(session)
         for sender in self._session_senders.get(session, ()):
             if session in self._pending.get(sender, ()):
-                self._armed[sender].add(session)
+                self._arm(sender, session)
 
     # -- reconstruct-broadcast checks ----------------------------------------
     def check_reconstruct_batch(
@@ -205,24 +262,67 @@ class DMM:
         for stale in (self._pending.pop(sender, None) or {}):
             self._session_senders.get(stale, set()).discard(sender)
         self._armed.pop(sender, None)
+        self._armed_min_done.pop(sender, None)
+        self.version += 1
+        self.dirty.add(sender)
         if self._on_shun is not None:
             self._on_shun(sender, session)
 
     # -- the filter ------------------------------------------------------------
     def filter_verdict(self, sender: int, session: tuple) -> str:
         """Decide what to do with a VSS message from ``sender`` tagged with
-        ``session`` (DMM steps 4-5)."""
+        ``session`` (DMM steps 4-5).
+
+        ``precedes(σ, σ')`` is ``completed[σ] < begun[σ']``, so *some*
+        armed session precedes ``session`` iff the cached minimum completed
+        tick does — one probe instead of a scan over the armed set.
+        """
         if sender == self.pid:
             return FORWARD  # a process never filters itself
         if sender in self.D:
             return DISCARD
-        armed = self._armed.get(sender)
-        if armed:
-            clock = self.clock
-            for owed_session in armed:
-                if clock.precedes(owed_session, session):
-                    return DELAY
+        owed = self._armed_min_done.get(sender)
+        if owed is not None:
+            begun = self.clock.begun.get(session)
+            if begun is not None and owed < begun:
+                return DELAY
         return FORWARD
+
+    def filter_verdict_group(
+        self, sender: int, group: tuple, slots: Iterable[int]
+    ) -> str | None:
+        """One verdict for a whole slot-vector, or ``None`` on divergence.
+
+        The verdict varies across a vector's sibling sessions only through
+        each slot's ``begun`` tick, so for senders with nothing armed the
+        answer is session-independent (one probe for the vector).  For
+        armed senders the slots' begun ticks are compared against the
+        cached minimum completed tick in one pass; a slot not begun yet
+        will be stamped with a *fresh* tick at ensure time — strictly newer
+        than any completed tick — so it counts as DELAY.  Mixed outcomes
+        return ``None`` and the caller re-filters per slot.
+
+        The result is only valid while :attr:`version` is unchanged:
+        dispatching one slot can convict, arm, or disarm, flipping the
+        verdict for the vector's remaining slots.
+        """
+        if sender == self.pid:
+            return FORWARD
+        if sender in self.D:
+            return DISCARD
+        owed = self._armed_min_done.get(sender)
+        if owed is None:
+            return FORWARD
+        begun = self.clock.begun
+        verdict: str | None = None
+        for slot in slots:
+            b = begun.get(svec_sid(group, slot))
+            v = DELAY if (b is None or owed < b) else FORWARD
+            if verdict is None:
+                verdict = v
+            elif v != verdict:
+                return None  # session clock diverges across the slots
+        return verdict
 
     # -- introspection -----------------------------------------------------------
     def pending_sessions(self, sender: int) -> frozenset[tuple]:

@@ -14,13 +14,12 @@ how the common coin hears about its SVSS sharings.
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Callable
 
 from repro.broadcast.manager import BroadcastManager
-from repro.core.dmm import DELAY, DISCARD, DMM
-from repro.core.mwsvss import MWSVSSInstance
-from repro.core.sessions import SessionClock, is_mw, is_svss
+from repro.core.dmm import DELAY, DISCARD, DMM, FORWARD
+from repro.core.mwsvss import GroupLane, MWSVSSInstance
+from repro.core.sessions import SVEC_MW, SessionClock, is_mw, is_svss, svec_sid
 from repro.core.svss import SVSSInstance
 from repro.core.vectormux import SVEC_TAG, SessionVectorMux
 from repro.errors import ProtocolError
@@ -93,7 +92,18 @@ class VSSManager(ProtocolModule):
         self.mw: dict[tuple, MWSVSSInstance] = {}
         self.svss: dict[tuple, SVSSInstance] = {}
         self._watchers: dict[object, object] = {}
-        self._delayed: deque[tuple[int, tuple, str, object]] = deque()
+        # Parked (delayed) messages indexed by (src, sid) — one verdict per
+        # key re-examines a whole backlog entry — with a global sequence so
+        # releases replay in park order.
+        self._delayed: dict[tuple[int, tuple], list[tuple[int, str, object]]] = {}
+        self._delayed_seq = 0
+        # Structure-of-arrays lanes: one per svec dealer-group, arraying the
+        # n sibling session instances by slot (see GroupLane).
+        self._lanes: dict[tuple, GroupLane] = {}
+        # Manager-wide memo for pid-tuple validation (L/M/G sets): the
+        # same tuples recur across sibling sessions and senders; values
+        # are the validated frozenset, or None for invalid bodies.
+        self._pid_tuple_ok: dict[tuple, frozenset | None] = {}
         self.attach(host)
 
     def _wire(self, host: ProcessHost) -> None:
@@ -224,14 +234,127 @@ class VSSManager(ProtocolModule):
         # what makes →_i well-defined for the filter below.
         self._ensure(sid)
         if kind in VALUE_KINDS:
+            self._runtime.dmm_verdict_calls += 1
             verdict = self.dmm.filter_verdict(src, sid)
             if verdict == DISCARD:
                 return
             if verdict == DELAY:
-                self._delayed.append((src, sid, kind, body))
+                self._park(src, sid, kind, body)
                 return
         self._dispatch(src, sid, kind, body)
-        self._release_delayed()
+        if self._delayed or self.dmm.dirty:
+            self._release_delayed()
+
+    def ingest_vector(self, src: int, group: tuple, kind: str, entries: tuple) -> None:
+        """Consume one slot-vector through the batched ingestion path.
+
+        Equivalent, slot for slot, to feeding each ``(slot, body)`` entry
+        through :meth:`_ingest`, but the per-slot chain is hoisted to the
+        vector level wherever the answer cannot differ across sibling
+        sessions:
+
+        * **session validation** — every slot's sid shares the group's
+          dealer/moderator fields (the slot lands only inside the parent
+          tag, which per-slot validation never inspects), so one probe
+          covers the vector;
+        * **DMM verdict** — computed once per (src, group) via
+          :meth:`DMM.filter_verdict_group` and reused while the DMM's
+          ``version`` is unchanged; a dispatch that convicts/arms/disarms
+          mid-vector bumps it and the remaining slots fall back to
+          per-slot verdicts;
+        * **instance lookup** — the group's :class:`GroupLane` columns
+          give O(1) slot access without rebuilding per-slot sid tuples;
+        * **value decoding** — ``mon``/``mod``/``rows`` bodies are batch
+          interpolated through the lane's row fast path (bit-identical to
+          the per-slot interpolation; see GroupLane).
+
+        Per-slot degradation is preserved: malformed entries, delayed and
+        discarded slots, and crash/recovery mid-vector affect only the
+        slots the per-slot path would have affected, in the same order.
+        """
+        mw_group = group[0] == SVEC_MW
+        probe = svec_sid(group, 0)
+        if mw_group:
+            if not self._valid_mw_sid(probe):
+                return
+        else:
+            if not self._valid_svss_sid(probe):
+                return
+        items = [
+            item
+            for item in entries
+            if type(item) is tuple and len(item) == 2 and type(item[0]) is int
+        ]
+        if not items:
+            return
+        host = self.host
+        runtime = self._runtime
+        dmm = self.dmm
+        delayed = self._delayed
+        lane = self._lanes.get(group)
+        if lane is None:
+            lane = self._lanes[group] = GroupLane(group)
+        columns = lane.columns
+        instances = self.mw if mw_group else self.svss
+        checked = kind in VALUE_KINDS
+        group_verdict: str | None = None
+        version = -1
+        if checked:
+            runtime.dmm_verdict_calls += 1
+            group_verdict = dmm.filter_verdict_group(
+                src, group, [slot for slot, _ in items]
+            )
+            version = dmm.version
+        polys = None
+        if len(items) > 1 and group_verdict in (None, FORWARD):
+            if mw_group:
+                if kind == "mon" or kind == "mod":
+                    polys = lane.monitor_polys(self, src, kind, items)
+            elif kind == "rows":
+                polys = lane.row_polys(self, src, items)
+        batched = 0
+        fallbacks = 0
+        is_rv = mw_group and kind == "rv"
+        epoch = host.crash_epoch
+        for slot, body in items:
+            if host.crashed or host.crash_epoch != epoch:
+                break
+            inst = columns.get(slot)
+            if inst is None:
+                sid = svec_sid(group, slot)
+                inst = instances.get(sid)
+                if inst is None:
+                    inst = self._ensure_mw(sid) if mw_group else self._ensure_svss(sid)
+                columns[slot] = inst
+            if checked:
+                if group_verdict is not None and dmm.version == version:
+                    verdict = group_verdict
+                    batched += 1
+                else:
+                    fallbacks += 1
+                    verdict = dmm.filter_verdict(src, inst.sid)
+                if verdict == DISCARD:
+                    continue
+                if verdict == DELAY:
+                    self._park(src, inst.sid, kind, body)
+                    continue
+            if is_rv:
+                batch = inst._parse_rv(body)
+                if batch is not None:
+                    dmm.check_reconstruct_batch(src, inst.sid, batch)
+                    if src in dmm.D:
+                        continue  # convicted by this very slot
+                inst.handle(src, kind, body, batch)
+            elif polys is None:
+                inst.handle(src, kind, body)
+            else:
+                inst.handle(src, kind, body, polys.get(slot))
+            if delayed or dmm.dirty:
+                self._release_delayed()
+        runtime.svec_batch_ingested += 1
+        runtime.dmm_verdicts_batched += batched
+        runtime.dmm_verdict_fallbacks += fallbacks
+        runtime.dmm_verdict_calls += fallbacks
 
     def _ensure(self, sid: tuple) -> None:
         if is_mw(sid):
@@ -248,29 +371,60 @@ class VSSManager(ProtocolModule):
                     self.dmm.check_reconstruct_batch(src, sid, batch)
                     if src in self.dmm.D:
                         return  # convicted by this very message
+                inst.handle(src, kind, body, batch)
+                return
             inst.handle(src, kind, body)
         else:
             self._ensure_svss(sid).handle(src, kind, body)
 
+    def _park(self, src: int, sid: tuple, kind: str, body: object) -> None:
+        seq = self._delayed_seq
+        self._delayed_seq = seq + 1
+        self._delayed.setdefault((src, sid), []).append((seq, kind, body))
+
     def _release_delayed(self) -> None:
-        """Re-examine parked messages after DMM state changed."""
-        if not self._delayed:
+        """Re-examine parked messages whose sender's DMM state changed.
+
+        A parked key's verdict can only move when the DMM's view of that
+        *sender* moves (conviction, arming, disarming — ``begun[sid]`` is
+        fixed the moment the message parks), so the DMM marks changed
+        senders dirty and only the affected keys are re-filtered: one
+        verdict per (src, sid) backlog entry instead of a full re-scan of
+        the parked deque on every state change.  Released messages replay
+        in park order across keys, and dispatching them may dirty further
+        senders, so the scan loops until the dirty set drains.
+        """
+        delayed = self._delayed
+        dmm = self.dmm
+        dirty = dmm.dirty
+        if not delayed:
+            if dirty:
+                dirty.clear()
             return
-        progressed = True
-        while progressed and self._delayed:
-            progressed = False
-            still_delayed: deque = deque()
-            while self._delayed:
-                src, sid, kind, body = self._delayed.popleft()
-                verdict = self.dmm.filter_verdict(src, sid)
+        runtime = self._runtime
+        while dirty:
+            affected = [key for key in delayed if key[0] in dirty]
+            dirty.clear()
+            if not affected:
+                return
+            release: list[tuple[int, int, tuple, str, object]] = []
+            for key in affected:
+                src, sid = key
+                runtime.dmm_verdict_calls += 1
+                verdict = dmm.filter_verdict(src, sid)
                 if verdict == DELAY:
-                    still_delayed.append((src, sid, kind, body))
-                elif verdict == DISCARD:
-                    progressed = True
-                else:
-                    self._dispatch(src, sid, kind, body)
-                    progressed = True
-            self._delayed = still_delayed
+                    continue
+                entries = delayed.pop(key)
+                if verdict == DISCARD:
+                    continue
+                for seq, kind, body in entries:
+                    release.append((seq, src, sid, kind, body))
+            release.sort()
+            for _, src, sid, kind, body in release:
+                self._dispatch(src, sid, kind, body)
+            if not delayed:
+                dirty.clear()
+                return
 
     # ------------------------------------------------------------------
     # event routing

@@ -31,7 +31,12 @@ from typing import TYPE_CHECKING
 
 from repro.core.sessions import mw_dealer, mw_moderator
 from repro.errors import ProtocolError
-from repro.poly.fastpath import evaluate_rows, interpolate_values
+from repro.poly.fastpath import (
+    evaluate_rows,
+    interpolate_values,
+    interpolate_values_rows,
+    lagrange_basis,
+)
 from repro.poly.univariate import Polynomial, interpolate_degree_t
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +58,9 @@ class _Bottom:
 
 
 BOTTOM = _Bottom()
+
+#: Cache-miss sentinel for the manager-wide pid-tuple memo.
+_MISSING = object()
 
 
 class MWSVSSInstance:
@@ -105,8 +113,12 @@ class MWSVSSInstance:
         self.reconstruct_begun = False
         self._rv_sent = False
         self.rv_batches: dict[int, dict[int, int]] = {}  # sender -> batch
+        #: Senders whose batches may hold newly consumable points — fresh
+        #: arrivals, or every sender after an ``L̂``/``M̂`` change widens
+        #: eligibility.  ``_consume_rv_batches`` only re-scans these.
+        self._rv_dirty: set[int] = set()
         self.K: dict[int, list[tuple[int, int]]] = {}  # monitor l -> points
-        self.f_bar: dict[int, Polynomial] = {}  # monitor l -> interpolated f̄_l
+        self.f_bar: dict[int, int] = {}  # monitor l -> f̄_l(0) (free term)
         self.output: int | _Bottom | None = None
 
     # ------------------------------------------------------------------
@@ -164,33 +176,41 @@ class MWSVSSInstance:
             return
         self.reconstruct_begun = True
         self._send_reconstruct_values()
-        self._consume_rv_batches()
+        if self._rv_dirty and self.M_hat is not None:
+            self._consume_rv_batches()
         self._maybe_output()
 
     # ------------------------------------------------------------------
     # message handling (post-DMM)
     # ------------------------------------------------------------------
-    def handle(self, src: int, kind: str, body: object) -> None:
-        if kind == "shl":
-            self._on_share_vector(src, body)
-        elif kind == "mon":
-            self._on_monitor_poly(src, body)
-        elif kind == "mod":
-            self._on_moderator_poly(src, body)
-        elif kind == "cnf":
+    def handle(self, src: int, kind: str, body: object, poly: object = None) -> None:
+        # ``poly`` is an optional pre-decoded form of the body supplied by
+        # the batched ingestion path: a pre-interpolated polynomial for
+        # ``mon``/``mod`` (GroupLane batch decode), the pre-parsed batch
+        # dict for ``rv``.  Handlers fall back to per-message decoding
+        # when it is absent.
+        # Ordered by per-invocation frequency: the O(n)-per-party kinds
+        # (confirm/ack/L-set/reconstruct) before the once-per-session ones.
+        if kind == "cnf":
             self._on_confirm(src, body)
-        elif kind == "ms":
-            self._on_moderator_share(src, body)
         elif kind == "ack":
             self._on_ack(src)
         elif kind == "L":
             self._on_l_set(src, body)
+        elif kind == "rv":
+            self._on_reconstruct_values(src, body, poly)
+        elif kind == "ms":
+            self._on_moderator_share(src, body)
+        elif kind == "shl":
+            self._on_share_vector(src, body)
+        elif kind == "mon":
+            self._on_monitor_poly(src, body, poly)
+        elif kind == "mod":
+            self._on_moderator_poly(src, body, poly)
         elif kind == "M":
             self._on_m_set(src, body)
         elif kind == "ok":
             self._on_ok(src)
-        elif kind == "rv":
-            self._on_reconstruct_values(src, body)
 
     # -- share phase -----------------------------------------------------
     def _on_share_vector(self, src: int, body: object) -> None:
@@ -201,13 +221,15 @@ class MWSVSSInstance:
         self.share_vector = tuple(body)
         self._maybe_step2()
 
-    def _on_monitor_poly(self, src: int, body: object) -> None:
+    def _on_monitor_poly(self, src: int, body: object, poly: object = None) -> None:
         if src != self.dealer or self.monitor_poly is not None:
             return
         if not self._is_value_tuple(body, self.t + 1):
             return
-        self.monitor_poly = interpolate_values(
-            self.field, range(1, self.t + 2), body
+        self.monitor_poly = (
+            poly
+            if poly is not None
+            else interpolate_values(self.field, range(1, self.t + 2), body)
         )
         self._maybe_step2()
         for l in list(self.confirm_values):
@@ -231,17 +253,24 @@ class MWSVSSInstance:
         if not self.field.is_element(body) or src in self.confirm_values:
             return
         self.confirm_values[src] = body
-        self._maybe_step3(src)
+        if not self.L_frozen and self.monitor_poly is not None:
+            self._maybe_step3(src)
 
     def _on_ack(self, src: int) -> None:
+        # The hottest handler (one call per party per session per party):
+        # each follow-up's cheap first guard is hoisted inline so settled
+        # steps cost a comparison instead of a call.
         if src in self.acks:
             return
         self.acks.add(src)
-        self._maybe_step3(src)
-        if self.pid == self.moderator:
+        if not self.L_frozen and self.monitor_poly is not None:
+            self._maybe_step3(src)
+        if self.pid == self.moderator and not self.M_frozen:
             self._recheck_moderator()
-        self._maybe_step7()
-        self._maybe_complete_share()
+        if self.pid == self.dealer and not self._dealer_acked:
+            self._maybe_step7()
+        if not self.share_completed and self.ok_received:
+            self._maybe_complete_share()
 
     def _maybe_step3(self, l: int) -> None:
         """Step 3: record confirmer ``l`` if its value matches ``f̂_j(l)``.
@@ -272,13 +301,15 @@ class MWSVSSInstance:
         )
 
     # -- moderator ---------------------------------------------------------
-    def _on_moderator_poly(self, src: int, body: object) -> None:
+    def _on_moderator_poly(self, src: int, body: object, poly: object = None) -> None:
         if src != self.dealer or self.pid != self.moderator:
             return
         if self.moderator_poly is not None or not self._is_value_tuple(body, self.t + 1):
             return
-        self.moderator_poly = interpolate_values(
-            self.field, range(1, self.t + 2), body
+        self.moderator_poly = (
+            poly
+            if poly is not None
+            else interpolate_values(self.field, range(1, self.t + 2), body)
         )
         self._recheck_moderator()
 
@@ -325,24 +356,33 @@ class MWSVSSInstance:
 
     # -- broadcast sets ------------------------------------------------------
     def _on_l_set(self, src: int, body: object) -> None:
-        if src in self.L_hat or not self._is_pid_tuple(body):
+        if src in self.L_hat:
             return
-        if len(body) < self.n - self.t:
+        fs = self._pid_fs(body)
+        if fs is None or len(fs) < self.n - self.t:
             return
-        self.L_hat[src] = frozenset(body)
-        if self.pid == self.moderator:
+        self.L_hat[src] = fs
+        if self.rv_batches:
+            self._rv_dirty.update(self.rv_batches)
+        if self.pid == self.moderator and not self.M_frozen:
             self._recheck_moderator(only=src)
-        self._maybe_step7()
-        self._maybe_complete_share()
-        self._consume_rv_batches()
-        self._maybe_output()
+        if self.pid == self.dealer and not self._dealer_acked:
+            self._maybe_step7()
+        if not self.share_completed and self.ok_received:
+            self._maybe_complete_share()
+        if self._rv_dirty and self.M_hat is not None:
+            self._consume_rv_batches()
+            self._maybe_output()
 
     def _on_m_set(self, src: int, body: object) -> None:
         if src != self.moderator or self.M_hat is not None:
             return
-        if not self._is_pid_tuple(body) or len(body) < self.n - self.t:
+        fs = self._pid_fs(body)
+        if fs is None or len(fs) < self.n - self.t:
             return
-        self.M_hat = frozenset(body)
+        self.M_hat = fs
+        if self.rv_batches:
+            self._rv_dirty.update(self.rv_batches)
         # Step 8: not being in M̂ means nobody will reconstruct our
         # monitored polynomial — drop the matching expectations and stop
         # recording new ones (reconstruct broadcasts only cover M̂ members,
@@ -350,10 +390,13 @@ class MWSVSSInstance:
         if self.pid not in self.M_hat:
             self._deal_suppressed = True
             self.manager.dmm.drop_deal_expectations(self.sid)
-        self._maybe_step7()
-        self._maybe_complete_share()
-        self._consume_rv_batches()
-        self._maybe_output()
+        if self.pid == self.dealer and not self._dealer_acked:
+            self._maybe_step7()
+        if not self.share_completed and self.ok_received:
+            self._maybe_complete_share()
+        if self._rv_dirty:
+            self._consume_rv_batches()
+            self._maybe_output()
 
     def _on_ok(self, src: int) -> None:
         if src != self.dealer or self.ok_received:
@@ -414,11 +457,17 @@ class MWSVSSInstance:
             batch = corrupt(self.sid, batch, self.field.prime)
         self.manager.rb_broadcast(self.sid, "rv", tuple(sorted(batch.items())))
 
-    def _on_reconstruct_values(self, src: int, body: object) -> None:
-        batch = self._parse_rv(body)
+    def _on_reconstruct_values(
+        self, src: int, body: object, batch: dict[int, int] | None = None
+    ) -> None:
+        # ``batch`` is the pre-parsed body from the batched ingestion path
+        # (it already parsed once for the DMM reconstruct check).
+        if batch is None:
+            batch = self._parse_rv(body)
         if batch is None or src in self.rv_batches:
             return
         self.rv_batches[src] = batch
+        self._rv_dirty.add(src)
         self._consume_rv_batches()
         self._maybe_output()
 
@@ -439,30 +488,55 @@ class MWSVSSInstance:
         return batch
 
     def _consume_rv_batches(self) -> None:
-        """R' steps 2-3: gather t+1 points per monitor, then interpolate."""
-        if self.M_hat is None:
+        """R' steps 2-3: gather t+1 points per monitor, then interpolate.
+
+        Incremental: only dirty batches are scanned (iterated in batch
+        arrival order, so which ``t + 1`` points win stays exactly the
+        full-rescan order).  Point additions depend only on the ``L̂``/
+        ``M̂`` sets and the dedup guards below, and every mutation of
+        those sets re-dirties all batches, so the dirty set is a pure
+        work filter — the consumed point set is unchanged.
+        """
+        if self.M_hat is None or not self._rv_dirty:
             return
+        dirty = self._rv_dirty
+        self._rv_dirty = set()
+        m_hat = self.M_hat
+        l_hat = self.L_hat
+        K = self.K
+        t = self.t
         for sender, batch in self.rv_batches.items():
+            if sender not in dirty:
+                continue
             for l, value in batch.items():
-                if l not in self.M_hat:
+                if l not in m_hat:
                     continue
-                members = self.L_hat.get(l)
+                members = l_hat.get(l)
                 if members is None or sender not in members:
                     continue
-                points = self.K.setdefault(l, [])
-                if len(points) > self.t or any(k == sender for k, _ in points):
+                points = K.get(l)
+                if points is None:
+                    points = K[l] = []
+                elif len(points) > t:
                     continue
-                points.append((sender, value))
-                if len(points) == self.t + 1 and l not in self.f_bar:
-                    # Sorted so delivery order cannot fragment the basis
-                    # cache: sender sets repeat across monitors and
-                    # sessions, and the cache key is the ordered node tuple.
-                    pts = sorted(points)
-                    self.f_bar[l] = interpolate_values(
-                        self.field,
-                        [k for k, _ in pts],
-                        [v for _, v in pts],
-                    )
+                for k, _ in points:
+                    if k == sender:
+                        break
+                else:
+                    points.append((sender, value))
+                    if len(points) == t + 1 and l not in self.f_bar:
+                        self._interpolate_f_bar(l, points)
+
+    def _interpolate_f_bar(self, l: int, points: list[tuple[int, int]]) -> None:
+        # f̄_l is only ever evaluated at 0 (R' step 4), so a single
+        # cached-basis dot product replaces the full coefficient
+        # interpolation — same value mod p, a fraction of the work.
+        # Sorted so delivery order cannot fragment the basis cache:
+        # sender sets repeat across monitors and sessions, and the cache
+        # key is the ordered node tuple.
+        pts = sorted(points)
+        basis = lagrange_basis(self.field, [k for k, _ in pts])
+        self.f_bar[l] = basis.evaluate_at_zero([v for _, v in pts])
 
     def _maybe_output(self) -> None:
         """R' step 4: interpolate ``f̄`` through the monitors' free terms."""
@@ -470,7 +544,7 @@ class MWSVSSInstance:
             return
         if self.M_hat is None or any(l not in self.f_bar for l in self.M_hat):
             return
-        points = [(l, self.f_bar[l](0)) for l in sorted(self.M_hat)]
+        points = [(l, self.f_bar[l]) for l in sorted(self.M_hat)]
         f_bar = interpolate_degree_t(self.field, points, self.t)
         self.output = f_bar(0) if f_bar is not None else BOTTOM
         self.manager.notify_mw_output(self.sid, self.output)
@@ -486,8 +560,112 @@ class MWSVSSInstance:
         )
 
     def _is_pid_tuple(self, body: object) -> bool:
-        return (
-            isinstance(body, tuple)
-            and len(set(body)) == len(body)
-            and all(isinstance(p, int) and 1 <= p <= self.n for p in body)
-        )
+        return self._pid_fs(body) is not None
+
+    def _pid_fs(self, body: object) -> frozenset | None:
+        """Validate a pid tuple and return its frozenset, ``None`` if bad.
+
+        Validity depends only on (body, n), and the same L/M tuples recur
+        across every sibling session and every delivery, so both the
+        answer and the frozenset are memoized manager-wide (bounded;
+        misses just recompute).
+        """
+        if not isinstance(body, tuple):
+            return None
+        cache = self.manager._pid_tuple_ok
+        fs = cache.get(body, _MISSING)
+        if fs is _MISSING:
+            valid = len(set(body)) == len(body) and all(
+                isinstance(p, int) and 1 <= p <= self.n for p in body
+            )
+            fs = frozenset(body) if valid else None
+            if len(cache) < 4096:
+                cache[body] = fs
+        return fs
+
+
+class GroupLane:
+    """Structure-of-arrays view of one svec dealer-group's sibling sessions.
+
+    The n sibling sessions of one dealer-group (the coin's per-slot MW-SVSS
+    or SVSS instances) are arrayed by slot in :attr:`columns`, giving the
+    batched ingestion path O(1) slot access without rebuilding the nested
+    per-slot sid tuple for every entry of a vector.  Lanes are created
+    lazily by ``VSSManager.ingest_vector`` and are a pure index: the
+    manager's ``mw``/``svss`` dicts remain the owning tables, and a column
+    is filled from them on first touch (so instances created by the local
+    share path and by vector ingestion land in the same lane).
+
+    The lane also hosts the *batch decode* pre-passes: for vectors whose
+    bodies are polynomial value rows (``mon``/``mod``/``rows``), all
+    well-shaped bodies are interpolated in one ``interpolate_values_rows``
+    call — bit-identical per row to the per-slot ``interpolate_values``
+    (same node set, same cached basis) — and the per-slot handlers receive
+    the precomputed polynomial.  The pre-passes are *pure*: they validate
+    with exactly the handlers' shape checks, never mutate instance state,
+    and return ``None`` (per-slot decode) for senders that cannot pass the
+    handlers' origin guards or for vectors with duplicate slots, so a
+    handler that rejects a body never sees a poly it would not have
+    computed itself.
+    """
+
+    __slots__ = ("group", "columns")
+
+    def __init__(self, group: tuple):
+        self.group = group
+        #: slot -> session instance (MWSVSSInstance or SVSSInstance)
+        self.columns: dict[int, object] = {}
+
+    def monitor_polys(self, manager, src: int, kind: str, items: list) -> dict | None:
+        """Batch-interpolate ``mon``/``mod`` bodies (values on 1..t+1)."""
+        group = self.group
+        if src != group[3]:
+            return None  # handlers only accept these from the dealer
+        if kind == "mod" and manager.pid != group[4]:
+            return None  # only the moderator decodes f̂
+        field = manager.field
+        length = manager.t + 1
+        is_element = field.is_element
+        slots: list[int] = []
+        rows: list[tuple] = []
+        for slot, body in items:
+            if (
+                isinstance(body, tuple)
+                and len(body) == length
+                and all(is_element(v) for v in body)
+            ):
+                slots.append(slot)
+                rows.append(body)
+        if len(rows) < 2 or len(set(slots)) != len(slots):
+            return None
+        polys = interpolate_values_rows(field, range(1, length + 1), rows)
+        return dict(zip(slots, polys))
+
+    def row_polys(self, manager, src: int, items: list) -> dict | None:
+        """Batch-interpolate SVSS ``rows`` bodies (g-row and h-row pairs)."""
+        if src != self.group[2]:
+            return None  # handlers only accept rows from the dealer
+        field = manager.field
+        length = manager.t + 1
+        is_element = field.is_element
+        slots: list[int] = []
+        flat: list[tuple] = []
+        for slot, body in items:
+            if (
+                isinstance(body, tuple)
+                and len(body) == 2
+                and all(
+                    isinstance(part, tuple)
+                    and len(part) == length
+                    and all(is_element(v) for v in part)
+                    for part in body
+                )
+            ):
+                slots.append(slot)
+                flat.extend(body)
+        if len(slots) < 2 or len(set(slots)) != len(slots):
+            return None
+        polys = interpolate_values_rows(field, range(1, length + 1), flat)
+        return {
+            slot: (polys[2 * i], polys[2 * i + 1]) for i, slot in enumerate(slots)
+        }

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.mwsvss import BOTTOM
+from repro.core.mwsvss import BOTTOM, _MISSING
 from repro.core.sessions import mw_session, svss_dealer
 from repro.errors import ProtocolError
 from repro.poly.bivariate import BivariatePolynomial
@@ -139,13 +139,15 @@ class SVSSInstance:
     # ------------------------------------------------------------------
     # message handling (post-DMM)
     # ------------------------------------------------------------------
-    def handle(self, src: int, kind: str, body: object) -> None:
+    def handle(self, src: int, kind: str, body: object, polys: object = None) -> None:
+        # ``polys`` is an optional pre-interpolated (g, h) pair from
+        # GroupLane's batch decode of a whole slot-vector of rows.
         if kind == "rows":
-            self._on_rows(src, body)
+            self._on_rows(src, body, polys)
         elif kind == "G":
             self._on_g_sets(src, body)
 
-    def _on_rows(self, src: int, body: object) -> None:
+    def _on_rows(self, src: int, body: object, polys: object = None) -> None:
         if src != self.dealer or self.g is not None:
             return
         if (
@@ -154,10 +156,13 @@ class SVSSInstance:
             or not all(self._is_value_tuple(part) for part in body)
         ):
             return
-        # One interpolation pass over the shared cached basis installs
-        # both halves of the received vector.
-        xs = range(1, self.t + 2)
-        self.g, self.h = interpolate_values_rows(self.field, xs, body)
+        if polys is not None:
+            self.g, self.h = polys
+        else:
+            # One interpolation pass over the shared cached basis installs
+            # both halves of the received vector.
+            xs = range(1, self.t + 2)
+            self.g, self.h = interpolate_values_rows(self.field, xs, body)
         self._participate()
 
     def _participate(self) -> None:
@@ -355,8 +360,16 @@ class SVSSInstance:
         )
 
     def _is_pid_tuple(self, body: object) -> bool:
-        return (
-            isinstance(body, tuple)
-            and len(set(body)) == len(body)
-            and all(isinstance(p, int) and 1 <= p <= self.n for p in body)
-        )
+        # Shares the manager-wide memo (see MWSVSSInstance._pid_fs).
+        if not isinstance(body, tuple):
+            return False
+        cache = self.manager._pid_tuple_ok
+        fs = cache.get(body, _MISSING)
+        if fs is _MISSING:
+            valid = len(set(body)) == len(body) and all(
+                isinstance(p, int) and 1 <= p <= self.n for p in body
+            )
+            fs = frozenset(body) if valid else None
+            if len(cache) < 4096:
+                cache[body] = fs
+        return fs is not None

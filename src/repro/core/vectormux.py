@@ -90,7 +90,15 @@ class SessionVectorMux:
     falls through to plain per-session sends.
     """
 
-    __slots__ = ("manager", "families", "_private", "_rb", "_deferred", "_rb_seq")
+    __slots__ = (
+        "manager",
+        "families",
+        "_private",
+        "_rb",
+        "_deferred",
+        "_rb_seq",
+        "_splits",
+    )
 
     def __init__(self, manager: "VSSManager"):
         self.manager = manager
@@ -101,6 +109,10 @@ class SessionVectorMux:
         self.families: set = set()
         self._private: dict = {}  # (dst, group, kind) -> [(slot, body), ...]
         self._rb: dict = {}  # (group, kind) -> [(slot, body), ...]
+        #: sid -> (group, slot) memo for the send-side offers.  Only
+        #: *positive* splits are cached: families only ever grow, so a
+        #: member sid stays a member, while a cached miss could go stale.
+        self._splits: dict = {}
         self._deferred = False
         #: Disambiguates the bids of successive RB flushes of one (group,
         #: kind) — slots that froze a step apart must not collide on a bid
@@ -123,11 +135,19 @@ class SessionVectorMux:
 
     def offer_private(self, dst: int, sid: tuple, kind: str, body: object) -> bool:
         """Buffer one private per-slot send; False = caller sends plain."""
-        if not self._packing():
+        manager = self.manager
+        runtime = manager._runtime
+        if not runtime.svec or not runtime.svec_buffering or not self.families:
             return False
-        split = svec_split(sid, self.families)
+        host = manager.host
+        if host.behavior is not None or host.outbound_filter is not None:
+            return False
+        split = self._splits.get(sid)
         if split is None:
-            return False
+            split = svec_split(sid, self.families)
+            if split is None:
+                return False
+            self._splits[sid] = split
         group, slot = split
         key = (dst, group, kind)
         pending = self._private.get(key)
@@ -140,11 +160,19 @@ class SessionVectorMux:
 
     def offer_rb(self, sid: tuple, kind: str, body: object) -> bool:
         """Buffer one per-slot reliable broadcast; False = caller sends plain."""
-        if not self._packing():
+        manager = self.manager
+        runtime = manager._runtime
+        if not runtime.svec or not runtime.svec_buffering or not self.families:
             return False
-        split = svec_split(sid, self.families)
+        host = manager.host
+        if host.behavior is not None or host.outbound_filter is not None:
+            return False
+        split = self._splits.get(sid)
         if split is None:
-            return False
+            split = svec_split(sid, self.families)
+            if split is None:
+                return False
+            self._splits[sid] = split
         group, slot = split
         key = (group, kind)
         pending = self._rb.get(key)
@@ -240,6 +268,12 @@ class SessionVectorMux:
             # Receiving a vector for this family proves the conversation
             # speaks svec; the replies triggered below should pack too.
             self.families.add(group[1])
+        if manager._runtime.batch_ingest:
+            # Batched ingestion: one group-level DMM verdict + SoA lane
+            # transition for the whole vector (slot-for-slot equivalent to
+            # the per-slot loop below; see VSSManager.ingest_vector).
+            manager.ingest_vector(src, group, kind, entries)
+            return
         host = manager.host
         ingest = manager._ingest
         epoch = host.crash_epoch

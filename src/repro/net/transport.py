@@ -187,6 +187,15 @@ class NetRuntime:
         self.svec_buffering = False
         self.svec_packed = 0
         self.svec_slots = 0
+        #: Batched vector ingestion never triggers over sockets (svec is
+        #: off, so no vectors form), but byzantine peers can still deliver
+        #: forged ("svec", ...) frames — keep the flag and counters so the
+        #: shared unpack/ingest path runs unchanged.
+        self.batch_ingest = True
+        self.svec_batch_ingested = 0
+        self.dmm_verdicts_batched = 0
+        self.dmm_verdict_fallbacks = 0
+        self.dmm_verdict_calls = 0
         self.envelopes_pushed = 0
         self.payloads_coalesced = 0
         self.events_dispatched = 0

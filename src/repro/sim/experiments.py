@@ -193,6 +193,11 @@ class Scenario:
     #: monitor's liveness watchdog.
     monitor: bool = False
     round_bound: int | None = None
+    #: Batched slot-vector ingestion axis (group-level DMM verdicts + SoA
+    #: lane transitions on the receive side).  ``None`` inherits the
+    #: runtime default (``REPRO_BATCH_INGEST``, on unless set to ``0``);
+    #: sweeps pin ``True``/``False`` to A/B the ingestion paths.
+    batch_ingest: bool | None = None
 
     def validate(self) -> None:
         if self.batch < 1:
@@ -252,6 +257,14 @@ class RunRecord:
     svec_packed: int = 0
     svec_slots: int = 0
     logical_messages: int = 0
+    #: Batched-ingestion counters (see the same fields on the result
+    #: dataclasses): vectors consumed whole, group verdicts that covered a
+    #: whole vector, per-slot fallbacks, and total DMM verdict
+    #: computations (the per-slot-handler-work metric).
+    svec_batch_ingested: int = 0
+    dmm_verdicts_batched: int = 0
+    dmm_verdict_fallbacks: int = 0
+    dmm_verdict_calls: int = 0
     #: What actually corrupted whom: the adversary's picklable ``spec``
     #: tuple, read *after* the run (adaptive adversaries only fix their
     #: victims at strike time).  None when the factory returned no
@@ -374,6 +387,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
                 share_coin=scenario.share_coin,
                 coalesce_votes=scenario.coalesce,
                 svec=scenario.svec,
+                batch_ingest=scenario.batch_ingest,
                 trace_level=scenario.trace_level,
                 engine=scenario.engine,
                 monitor=monitor,
@@ -401,6 +415,10 @@ def run_scenario(scenario: Scenario) -> RunRecord:
                 svec_packed=batch.svec_packed,
                 svec_slots=batch.svec_slots,
                 logical_messages=batch.logical_messages,
+                svec_batch_ingested=batch.svec_batch_ingested,
+                dmm_verdicts_batched=batch.dmm_verdicts_batched,
+                dmm_verdict_fallbacks=batch.dmm_verdict_fallbacks,
+                dmm_verdict_calls=batch.dmm_verdict_calls,
                 **_monitor_fields(adversary, monitor),
             )
         result = run_byzantine_agreement(
@@ -415,6 +433,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
             engine=scenario.engine,
             coalesce=scenario.coalesce,
             svec=scenario.svec,
+            batch_ingest=scenario.batch_ingest,
             monitor=monitor,
         )
         wall = time.perf_counter() - start
@@ -437,6 +456,10 @@ def run_scenario(scenario: Scenario) -> RunRecord:
             svec_packed=result.svec_packed,
             svec_slots=result.svec_slots,
             logical_messages=result.logical_messages,
+            svec_batch_ingested=result.svec_batch_ingested,
+            dmm_verdicts_batched=result.dmm_verdicts_batched,
+            dmm_verdict_fallbacks=result.dmm_verdict_fallbacks,
+            dmm_verdict_calls=result.dmm_verdict_calls,
             **_monitor_fields(adversary, monitor),
         )
     except InvariantViolation as violation:

@@ -271,7 +271,7 @@ class ProcessHost:
         subs = payload[1]
         if type(subs) is not tuple:
             return  # forged envelope body; honest runtimes always pack tuples
-        handlers = self._handlers
+        lookup = self._handlers.get
         epoch = self.crash_epoch
         for sub in subs:
             if self.crashed or self.crash_epoch != epoch:
@@ -286,7 +286,7 @@ class ProcessHost:
             if tag == ENVELOPE_TAG:
                 continue  # no nested envelopes
             try:
-                handler = handlers.get(tag)
+                handler = lookup(tag)
             except TypeError:
                 continue  # unhashable tag from a byzantine sender
             if handler is not None:

@@ -192,13 +192,21 @@ class TestBitIdenticalCoin:
 
 
 class TestSlotVectorUnpack:
-    """Receiver-side slot-vector semantics, driven directly on the mux."""
+    """Receiver-side slot-vector semantics, driven directly on the mux.
+
+    Pinned to ``batch_ingest=False``: these spy tests shadow ``_ingest``
+    to observe the per-slot loop; the batched path's equivalents live in
+    ``tests/test_batch_ingest.py``.
+    """
 
     def make_manager(self, svec=True):
         from repro.core.api import build_stack
 
         stack = build_stack(
-            SystemConfig(n=4, seed=0), scheduler=FifoScheduler(), svec=svec
+            SystemConfig(n=4, seed=0),
+            scheduler=FifoScheduler(),
+            svec=svec,
+            batch_ingest=False,
         )
         return stack, stack.vss[1]
 
