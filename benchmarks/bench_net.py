@@ -16,6 +16,14 @@ The robustness artifact for the real-network layer (ROADMAP item 1):
 4. **Sim-equivalence gate** — the decision reached over real sockets is
    bit-identical to the simulator's on the same unanimous inputs: the
    transport may change timing, never outcomes.
+5. **Journal overhead gate** — clean-path throughput with the write-ahead
+   journal attached must stay within 10% of the journal-less figure
+   (the fsync-batching contract).
+6. **Restart lifecycle gate** — under *every* chaos profile: SIGKILL one
+   OS-process node mid-run, relaunch it from its journal, and the final
+   all-n decision must equal the clean no-kill run's.
+7. **Impostor-storm gate** — a loop hammering forged HELLOs at every
+   node never stalls honest agreement, and every forgery is counted.
 
 The JSON artifact is committed at the repo root next to the other
 ``BENCH_*.json`` so the transport's trajectory stays diffable across PRs.
@@ -25,14 +33,19 @@ from __future__ import annotations
 
 import asyncio
 import os
+import shutil
+import tempfile
 import time
+from pathlib import Path
 
 from bench_common import bench_payload, write_bench_json
 from repro.config import SystemConfig
 from repro.core.api import run_byzantine_agreement
 from repro.net.chaos import CHAOS_PROFILES, ChaosProxy
 from repro.net.cluster import NetCluster
-from repro.net.transport import NetworkNode, TransportConfig
+from repro.net.codec import FRAME_AUTH, FRAME_HELLO, encode_frame, encode_value
+from repro.net.launch import run_processes
+from repro.net.transport import PROTO_VERSION, NetworkNode, TransportConfig
 from repro.sim.monitor import InvariantMonitor
 from repro.sim.tracing import TRACE_OFF
 
@@ -56,10 +69,13 @@ FAST = TransportConfig(
 THROUGHPUT_PROFILES = ("none", "drop", "delay", "duplicate", "reorder", "flaky")
 
 
-async def _wired_pair(profile_name: "str | None"):
-    """Two nodes; the 1 -> 2 direction optionally crosses a chaos proxy."""
+async def _wired_pair(profile_name: "str | None", journal_path=None):
+    """Two nodes; the 1 -> 2 direction optionally crosses a chaos proxy.
+    ``journal_path`` attaches a write-ahead journal to the sender."""
     config = SystemConfig(n=2, t=0, seed=9000)
-    a = NetworkNode(config, 1, tconfig=FAST, trace_level=TRACE_OFF)
+    a = NetworkNode(
+        config, 1, tconfig=FAST, trace_level=TRACE_OFF, journal=journal_path
+    )
     b = NetworkNode(config, 2, tconfig=FAST, trace_level=TRACE_OFF)
     await a.start_server()
     await b.start_server()
@@ -78,9 +94,12 @@ async def _wired_pair(profile_name: "str | None"):
     return a, b, proxy
 
 
-async def _measure_throughput(profile_name: str, n_msgs: int) -> dict:
+async def _measure_throughput(
+    profile_name: str, n_msgs: int, journal_path=None
+) -> dict:
     a, b, proxy = await _wired_pair(
-        None if profile_name == "none" else profile_name
+        None if profile_name == "none" else profile_name,
+        journal_path=journal_path,
     )
     got: list = []
     b.host.register_handler("m", lambda src, msg: got.append(msg))
@@ -181,6 +200,133 @@ async def _chaos_safety_matrix() -> dict:
     return rows
 
 
+async def _journal_overhead(n_msgs: int) -> dict:
+    """Clean-path throughput, journal-less vs journal-attached, measured
+    back to back on the same machine.  Gate: within 10%."""
+    off = await _measure_throughput("none", n_msgs)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    try:
+        on = await _measure_throughput(
+            "none", n_msgs, journal_path=Path(tmp) / "node-1.journal"
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    ratio = on["msgs_per_second"] / off["msgs_per_second"]
+    assert ratio >= 0.9, (
+        f"journal hot path too slow: {on['msgs_per_second']} vs "
+        f"{off['msgs_per_second']} msg/s (ratio {ratio:.3f} < 0.9)"
+    )
+    return {
+        "journal_off_msgs_per_second": off["msgs_per_second"],
+        "journal_on_msgs_per_second": on["msgs_per_second"],
+        "ratio": round(ratio, 4),
+    }
+
+
+async def _restart_lifecycle_matrix() -> dict:
+    """kill -9 -> relaunch from journal -> rejoin, under every chaos
+    profile, across real OS processes.  Gate: zero violations and the
+    same decision as the clean no-kill baseline."""
+    inputs = [1, 1, 1, 1]
+    seed = 9400
+    baseline = await run_processes(4, inputs=inputs, seed=seed, timeout=90)
+    assert baseline["violations"] == [], baseline["violations"]
+    base_decision = baseline["decisions"][0][2]
+    rows = {
+        "baseline": {
+            "decision": base_decision,
+            "max_round": baseline["max_round"],
+        }
+    }
+    for name in sorted(CHAOS_PROFILES):
+        root = tempfile.mkdtemp(prefix=f"repro-bench-restart-{name}-")
+        start = time.perf_counter()
+        try:
+            verdict = await run_processes(
+                4, inputs=inputs, seed=seed, timeout=90,
+                chaos=None if name == "none" else name,
+                restart={3: (1.0, 2.0)}, journal_dir=root,
+                hung_after=30.0,
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        wall = time.perf_counter() - start
+        assert verdict["violations"] == [], (
+            f"profile {name}: {verdict['violations']}"
+        )
+        decisions = {pid: v for _, pid, v, _ in verdict["decisions"]}
+        assert len(decisions) == 4 and set(decisions.values()) == {
+            base_decision
+        }, f"profile {name}: decisions {decisions} != no-kill {base_decision}"
+        rows[name] = {
+            "wall_seconds": round(wall, 4),
+            "decision": decisions[3],
+            "rejoined": verdict["rejoined"],
+            "journal_replayed": verdict["journal_replayed"],
+        }
+    return rows
+
+
+async def _impostor_storm() -> dict:
+    """Forged HELLOs (bad MACs) hammer every node while agreement runs:
+    the storm must be counted and must never stall honest liveness."""
+    cluster = NetCluster(
+        SystemConfig(n=4, seed=9300),
+        tconfig=FAST,
+        with_vss=False,
+        trace_level=TRACE_OFF,
+    )
+    await cluster.start()
+    stop = asyncio.Event()
+
+    async def storm(port: int) -> None:
+        forged_hello = encode_frame(
+            FRAME_HELLO,
+            encode_value(("hello", 1, 999, PROTO_VERSION, 1)),
+        )
+        forged_auth = encode_frame(
+            FRAME_AUTH, encode_value(("auth", 1, b"\x00" * 32))
+        )
+        while not stop.is_set():
+            try:
+                _, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(forged_hello + forged_auth)
+                await writer.drain()
+                writer.close()
+            except OSError:
+                pass
+            await asyncio.sleep(0.005)
+
+    tasks = [
+        asyncio.get_running_loop().create_task(storm(node.port))
+        for node in cluster.nodes.values()
+    ]
+    start = time.perf_counter()
+    try:
+        decisions = await cluster.run_agreement(
+            [0, 1, 0, 1], coin="local", instance="storm", timeout=90
+        )
+        wall = time.perf_counter() - start
+        stop.set()
+        await asyncio.sleep(0.05)
+        rejected = sum(node.auth_rejected for node in cluster.nodes.values())
+    finally:
+        stop.set()
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        await cluster.close()
+    assert len(decisions) == 4 and len(set(decisions.values())) == 1, (
+        f"impostor storm stalled agreement: {decisions}"
+    )
+    assert rejected > 0, "storm ran but nothing was rejected"
+    return {
+        "wall_seconds": round(wall, 4),
+        "auth_rejected": rejected,
+        "decision": decisions[1],
+    }
+
+
 async def _sim_equivalence() -> dict:
     inputs = [1, 1, 1, 1]
     seed = 9200
@@ -210,14 +356,23 @@ def test_bench_net(emit):
     async def main():
         chaos_rows = await _chaos_safety_matrix()  # gates run first
         equivalence = await _sim_equivalence()
+        restart_rows = await _restart_lifecycle_matrix()
+        storm = await _impostor_storm()
         throughput = {
             name: await _measure_throughput(name, BLAST)
             for name in THROUGHPUT_PROFILES
         }
+        journal = await _journal_overhead(BLAST)
         reconnect = await _measure_reconnect(RECONNECT_BACKLOG)
-        return chaos_rows, equivalence, throughput, reconnect
+        return (
+            chaos_rows, equivalence, restart_rows, storm, throughput,
+            journal, reconnect,
+        )
 
-    chaos_rows, equivalence, throughput, reconnect = asyncio.run(main())
+    (
+        chaos_rows, equivalence, restart_rows, storm, throughput,
+        journal, reconnect,
+    ) = asyncio.run(main())
 
     payload = bench_payload(
         {
@@ -229,11 +384,19 @@ def test_bench_net(emit):
                 "under the armed invariant monitor",
                 "socket decisions are bit-identical to the simulator's",
                 "every throughput run delivered exactly-once in order",
+                "kill -9 -> journal relaunch -> rejoin reaches the no-kill "
+                "decision under every chaos profile",
+                "journal-attached clean throughput within 10% of "
+                "journal-less",
+                "impostor HELLO storm never stalls honest agreement",
             ],
         },
         chaos_safety=chaos_rows,
         sim_equivalence=equivalence,
+        restart_lifecycle=restart_rows,
+        impostor_storm=storm,
         throughput=throughput,
+        journal_throughput=journal,
         reconnect=reconnect,
     )
     path = write_bench_json("net", payload)
@@ -248,11 +411,25 @@ def test_bench_net(emit):
             f" wall={row['wall_seconds']:.2f}s"
         )
     emit(
+        f"journal overhead: {journal['journal_on_msgs_per_second']:.1f} "
+        f"msg/s journaled vs {journal['journal_off_msgs_per_second']:.1f} "
+        f"clean (ratio {journal['ratio']:.3f}, gate >= 0.9)"
+    )
+    emit(
         f"reconnect recovery: {reconnect['backlog_frames']} queued frames "
         f"drained {reconnect['recovery_seconds']:.3f}s after restart"
     )
     emit(
         "chaos-safety matrix: "
         + ", ".join(f"{k}:ok" for k in sorted(chaos_rows))
-        + f"; artifact: {path.name}"
+    )
+    emit(
+        "restart lifecycle (kill -9 -> journal rejoin): "
+        + ", ".join(
+            f"{k}:ok" for k in sorted(restart_rows) if k != "baseline"
+        )
+    )
+    emit(
+        f"impostor storm: {storm['auth_rejected']} forged HELLOs rejected, "
+        f"agreement in {storm['wall_seconds']:.2f}s; artifact: {path.name}"
     )

@@ -13,6 +13,10 @@ stacks over real asyncio TCP sockets:
   reconnect, heartbeats, seq/ack reliable delivery, bounded outbound
   queues with backpressure), and :class:`NetworkNode` tying one process'
   server + peers + dispatch pump together;
+* :mod:`repro.net.journal` — :class:`Journal`, the append-only
+  checksummed write-ahead journal (per-link seq state, transport epoch,
+  protocol decisions) that makes a ``kill -9``'d node restartable with
+  its identity and state intact;
 * :mod:`repro.net.chaos` — :class:`ChaosProxy`, a frame-aware seeded
   fault-injection proxy (drop/delay/duplicate/reorder/partition/
   slow-link/flaky per directed link) — the network analogue of the
@@ -34,8 +38,11 @@ from repro.net.chaos import CHAOS_PROFILES, ChaosProfile, ChaosProxy, LinkPolicy
 from repro.net.cluster import NetCluster, NetContext
 from repro.net.codec import (
     FRAME_ACK,
+    FRAME_AUTH,
+    FRAME_CHALLENGE,
     FRAME_DATA,
     FRAME_HELLO,
+    FRAME_JOURNAL,
     FRAME_PING,
     FRAME_PONG,
     FRAME_WELCOME,
@@ -47,6 +54,7 @@ from repro.net.codec import (
     encode_frame,
     encode_value,
 )
+from repro.net.journal import Journal, JournalError, JournalState, replay_journal
 from repro.net.launch import run_processes
 from repro.net.transport import (
     NetRuntime,
@@ -54,6 +62,7 @@ from repro.net.transport import (
     NetworkNode,
     PeerConnection,
     TransportConfig,
+    derive_pair_key,
 )
 from repro.net.verdict import NetVerdict
 
@@ -63,13 +72,19 @@ __all__ = [
     "ChaosProxy",
     "CodecError",
     "FRAME_ACK",
+    "FRAME_AUTH",
+    "FRAME_CHALLENGE",
     "FRAME_DATA",
     "FRAME_HELLO",
+    "FRAME_JOURNAL",
     "FRAME_PING",
     "FRAME_PONG",
     "FRAME_WELCOME",
     "FrameError",
     "FrameParser",
+    "Journal",
+    "JournalError",
+    "JournalState",
     "LinkPolicy",
     "MAX_FRAME_BODY",
     "NetCluster",
@@ -81,7 +96,9 @@ __all__ = [
     "PeerConnection",
     "TransportConfig",
     "decode_value",
+    "derive_pair_key",
     "encode_frame",
     "encode_value",
+    "replay_journal",
     "run_processes",
 ]

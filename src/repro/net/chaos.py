@@ -25,7 +25,10 @@ What each knob hits:
 
 * ``drop``/``duplicate``/``reorder`` apply to DATA frames only (the
   logical messages); dropping handshakes would only slow reconnection
-  without exercising anything new.
+  without exercising anything new.  HELLO/CHALLENGE/AUTH are control
+  path for the same reason: the authenticated handshake crosses a chaos
+  link delayed at worst, never faulted, so journal-backed rejoins under
+  every profile still converge.
 * ``min_delay``/``delay`` apply to every forwarded frame (a slow link
   slows everything crossing it), preserving FIFO: release times are
   monotone per link unless ``reorder`` fires, which pushes one frame

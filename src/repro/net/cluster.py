@@ -20,7 +20,10 @@ For runs whose processes genuinely do not share an address space, use
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import hashlib
 import time
+from pathlib import Path
 
 from repro.config import SystemConfig
 from repro.core.agreement import ABAProcess
@@ -74,6 +77,15 @@ def resolve_profile(chaos: "str | ChaosProfile | None") -> ChaosProfile | None:
         ) from None
 
 
+def derive_cluster_secret(seed: int) -> bytes:
+    """The cluster-wide auth secret all honest parties share.
+
+    Deterministic in the run seed so OS-process children (launch.py) and
+    in-process clusters derive the same keys without a key exchange —
+    the trusted-setup analogue of the paper's private channels."""
+    return hashlib.sha256(f"{seed}:net-auth".encode()).digest()
+
+
 class NetCluster:
     """n protocol processes over real localhost TCP, driven to completion.
 
@@ -97,9 +109,17 @@ class NetCluster:
         with_vss: bool = True,
         trace_level: int = TRACE_FULL,
         monitor=None,
+        auth: bool = True,
+        journal_dir: "str | Path | None" = None,
     ):
         self.config = config
         self.tconfig = tconfig or TransportConfig()
+        if auth and not self.tconfig.auth_secret:
+            self.tconfig = dataclasses.replace(
+                self.tconfig, auth_secret=derive_cluster_secret(config.seed)
+            )
+        self.journal_dir = None if journal_dir is None else Path(journal_dir)
+        self._journal_paths: dict[int, Path] = {}
         self.profile = resolve_profile(chaos)
         self.with_vss = with_vss
         self.context = NetContext(config)
@@ -125,6 +145,7 @@ class NetCluster:
                 pid,
                 tconfig=self.tconfig,
                 trace_level=self._trace_level,
+                journal=self._journal_path(pid),
             )
             self.context.register(node)
             self.nodes[pid] = node
@@ -155,6 +176,15 @@ class NetCluster:
                 self.vss[pid] = vss
         self._started = True
 
+    def _journal_path(self, pid: int) -> "Path | None":
+        if self.journal_dir is None:
+            return None
+        path = self._journal_paths.get(pid)
+        if path is None:
+            path = self.journal_dir / f"node-{pid}.journal"
+            self._journal_paths[pid] = path
+        return path
+
     async def close(self) -> None:
         for node in self.nodes.values():
             await node.close()
@@ -171,6 +201,50 @@ class NetCluster:
         """Bring a killed node's transport back; peers resync via the
         epoch handshake and retransmit everything unacked."""
         await self.nodes[pid].restart_transport()
+
+    async def restart_node(self, pid: int) -> None:
+        """Full node replacement from its journal: the in-process
+        analogue of ``kill -9`` + relaunch.  The old :class:`NetworkNode`
+        — host, modules, queues, everything — is discarded; a brand-new
+        one opens the same journal, resumes its link seqs under a fresh
+        epoch, and rebinds the same port so peers reconnect unmodified.
+        Protocol modules are rebuilt from scratch (the journal, not
+        Python object state, is what survives)."""
+        if self.journal_dir is None:
+            raise ConfigurationError(
+                "restart_node needs a cluster journal_dir"
+            )
+        old = self.nodes[pid]
+        addresses = dict(old._addresses)
+        port = old.port
+        await old.close()
+        node = NetworkNode(
+            self.config,
+            pid,
+            tconfig=self.tconfig,
+            trace_level=self._trace_level,
+            journal=self._journal_path(pid),
+        )
+        # The TIME_WAIT window can hold the port briefly after the old
+        # server closed on the same loop; retry the rebind a few times.
+        for attempt in range(5):
+            try:
+                await node.start_server(port)
+                break
+            except OSError:
+                if attempt == 4:
+                    raise
+                await asyncio.sleep(0.05 * (attempt + 1))
+        self.context.register(node)
+        self.nodes[pid] = node
+        node.set_peers(addresses)
+        node.start_peers()
+        broadcast, vss = build_node_modules(node.host, self.with_vss)
+        self.broadcasts[pid] = broadcast
+        if vss is not None:
+            self.vss[pid] = vss
+        # A cached svss coin belongs to the dead incarnation's modules.
+        self.coins.pop(pid, None)
 
     # -- waits -------------------------------------------------------------
     async def wait_for(self, predicate, timeout: float = 60.0) -> None:
@@ -275,6 +349,18 @@ class NetCluster:
     # -- stats -------------------------------------------------------------
     def stats(self) -> dict:
         return {
+            "auth_rejected": sum(
+                node.auth_rejected for node in self.nodes.values()
+            ),
+            "journal_replayed": sum(
+                node.journal.state.replayed
+                for node in self.nodes.values()
+                if node.journal is not None
+            ),
+            "frame_errors": sum(
+                sum(node.frame_errors.values())
+                for node in self.nodes.values()
+            ),
             "nodes": {pid: node.stats() for pid, node in self.nodes.items()},
             "chaos": {
                 pid: {

@@ -42,9 +42,22 @@ FRAME_WELCOME = 0x03  #: body = ("welcome", dst_pid, epoch, next_expected_seq)
 FRAME_PING = 0x04  #: body = ("ping", nonce)
 FRAME_PONG = 0x05  #: body = ("pong", nonce)
 FRAME_ACK = 0x06  #: body = ("ack", cumulative_seq)
+FRAME_CHALLENGE = 0x07  #: body = ("challenge", dst_pid, nonce_bytes)
+FRAME_AUTH = 0x08  #: body = ("auth", src_pid, mac_bytes)
+FRAME_JOURNAL = 0x09  #: one write-ahead journal record (never on the wire)
 
 FRAME_TYPES = frozenset(
-    (FRAME_DATA, FRAME_HELLO, FRAME_WELCOME, FRAME_PING, FRAME_PONG, FRAME_ACK)
+    (
+        FRAME_DATA,
+        FRAME_HELLO,
+        FRAME_WELCOME,
+        FRAME_PING,
+        FRAME_PONG,
+        FRAME_ACK,
+        FRAME_CHALLENGE,
+        FRAME_AUTH,
+        FRAME_JOURNAL,
+    )
 )
 
 #: Hard cap on a frame body.  The largest honest frame is a coalesced

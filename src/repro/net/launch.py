@@ -13,6 +13,20 @@ Children keep serving after reporting until the parent says ``exit`` —
 a decided process must stay online so slower peers can still drain
 retransmissions from it (the async model has no silent leavers).
 
+Durability: pass ``journal_dir`` (or ``--journal-dir``) and every child
+opens a :class:`~repro.net.journal.Journal`; ``restart`` then scripts
+full ``kill -9`` → relaunch cycles: the replacement process replays its
+journal, rejoins under a fresh epoch with HMAC-authenticated handshakes,
+re-announces a journaled decision — or adopts the cluster's decision via
+``t + 1`` matching ``dcd`` announcements (Bracha-style termination: a
+decided process periodically tells everyone, so a rejoiner never needs
+the un-replayable retransmit backlog) — and its report is judged for
+agreement *with its own prior self* as well as with its peers.
+
+Children heartbeat one ``HB`` line per second; a child silent past
+``hung_after`` is killed and recorded as a ``hung`` violation instead of
+riding the CI wall-clock cap.
+
 CLI::
 
     python -m repro.net.launch --n 4 --inputs 1,1,1,1 --coins 2 --chaos drop
@@ -26,14 +40,18 @@ import argparse
 import asyncio
 import json
 import logging
+import shutil
 import socket
 import sys
+import tempfile
+from pathlib import Path
 
 from repro.config import SystemConfig
 from repro.core.agreement import ABAProcess
 from repro.core.api import DEFAULT_INSTANCE, build_node_modules, make_node_coin
 from repro.net.chaos import ChaosProxy
-from repro.net.cluster import resolve_profile
+from repro.net.cluster import derive_cluster_secret, resolve_profile
+from repro.net.journal import Journal
 from repro.net.transport import NetworkNode, TransportConfig
 from repro.net.verdict import NetVerdict
 from repro.sim.tracing import TRACE_OFF
@@ -41,25 +59,38 @@ from repro.sim.tracing import TRACE_OFF
 #: Marker prefixing the one JSON line a child prints on stdout.
 REPORT_PREFIX = "REPORT "
 
+#: Seconds between child heartbeat lines (parent liveness signal).
+HEARTBEAT_EVERY = 1.0
+
+#: Seconds between a decided child's ``dcd`` announcements.
+ANNOUNCE_EVERY = 0.5
+
 
 def _free_ports(count: int, host: str = "127.0.0.1") -> list[int]:
     """Reserve ``count`` distinct free TCP ports.
 
     All sockets are held open until every port is picked, then released
     together — the small bind race before the children re-bind is
-    acceptable for a localhost harness.
+    handled by the children's own bind-retry loop.  A collision *during*
+    reservation (another process grabbed an ephemeral port mid-scan)
+    retries the whole batch — the flaky-CI source this used to be.
     """
-    sockets = []
-    try:
-        for _ in range(count):
-            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            sock.bind((host, 0))
-            sockets.append(sock)
-        return [sock.getsockname()[1] for sock in sockets]
-    finally:
-        for sock in sockets:
-            sock.close()
+    for attempt in range(3):
+        sockets = []
+        try:
+            for _ in range(count):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.bind((host, 0))
+                sockets.append(sock)
+            return [sock.getsockname()[1] for sock in sockets]
+        except OSError:
+            if attempt == 2:
+                raise
+        finally:
+            for sock in sockets:
+                sock.close()
+    raise OSError("unreachable")
 
 
 # ---------------------------------------------------------------------------
@@ -71,11 +102,36 @@ async def _child_main(args: argparse.Namespace) -> int:
     # Peer teardown races log per-socket warnings; a child whose stderr
     # is an undrained pipe must never block on them.
     logging.getLogger("asyncio").setLevel(logging.ERROR)
+    if args.hang:
+        # Test hook for the parent's hung-child detection: wedge silently
+        # (no heartbeats, no report) until killed.
+        await asyncio.sleep(args.timeout * 10)
+        return 1
     config = SystemConfig(n=args.n, t=args.t, seed=args.seed)
-    node = NetworkNode(
-        config, args.pid, tconfig=TransportConfig(), trace_level=TRACE_OFF
+    tconfig = TransportConfig(
+        auth_secret=bytes.fromhex(args.secret) if args.secret else b""
     )
-    await node.start_server(args.port)
+    journal = (
+        Journal(args.journal, fsync=tconfig.journal_fsync)
+        if args.journal
+        else None
+    )
+    #: A non-empty journal means this process is a relaunched incarnation.
+    rejoined = journal is not None and journal.state.replayed > 0
+    node = NetworkNode(
+        config, args.pid, tconfig=tconfig, trace_level=TRACE_OFF,
+        journal=journal,
+    )
+    # The parent reserved-then-released this port; another process (or
+    # our own killed predecessor's TIME_WAIT) can hold it briefly.
+    for attempt in range(6):
+        try:
+            await node.start_server(args.port)
+            break
+        except OSError:
+            if attempt == 5:
+                raise
+            await asyncio.sleep(0.1 * (attempt + 1))
     peers = {}
     for entry in args.peers.split(","):
         pid_str, port_str = entry.split(":")
@@ -85,27 +141,118 @@ async def _child_main(args: argparse.Namespace) -> int:
     broadcast, vss = build_node_modules(node.host, with_vss=True)
     coin = make_node_coin(node.host, "svss", broadcast=broadcast, vss=vss)
 
-    report: dict = {"pid": args.pid, "decisions": {}, "coins": {}}
-    decided: dict[str, int] = {}
+    heartbeats = asyncio.get_running_loop().create_task(_heartbeat_loop())
+
+    report: dict = {
+        "pid": args.pid,
+        "decisions": {},
+        "coins": {},
+        "rejoined": rejoined,
+        "prior_decisions": {},
+    }
+    decided: dict[object, object] = {}
+    rounds: dict[object, int] = {}
+    if journal is not None:
+        for instance, (value, rnd) in journal.state.decisions.items():
+            report["prior_decisions"][str(instance)] = [value, rnd]
+
+    # -- dcd: decision announcements (Bracha-style termination) ------------
+    # Every decided process periodically tells everyone; a process holding
+    # t + 1 matching announcements from distinct pids adopts that value
+    # (at least one is honest).  This is what lets a relaunched process
+    # finish: the retransmit backlog it missed is gone (counted ring
+    # drops), but the decision gadget needs only live traffic.
+    dcd_votes: dict[object, dict[int, object]] = {}
+
+    def on_dcd(src: int, payload: tuple) -> None:
+        if len(payload) != 3:
+            return
+        _, instance, value = payload
+        votes = dcd_votes.setdefault(instance, {})
+        votes[src] = value
+        if instance in decided:
+            return
+        tally: dict[object, int] = {}
+        for v in votes.values():
+            tally[v] = tally.get(v, 0) + 1
+        for v, count in tally.items():
+            if count >= config.t + 1:
+                decided[instance] = v
+                rounds[instance] = 0  # adopted, not run
+                if journal is not None:
+                    journal.record_decision(instance, v, 0)
+                node.notify()
+                return
+
+    node.host.register_handler("dcd", on_dcd)
+
+    async def announce_dcd() -> None:
+        while True:
+            for instance, value in list(decided.items()):
+                node.runtime.transmit_all(
+                    args.pid, ("dcd", instance, value), layer="app"
+                )
+            await asyncio.sleep(ANNOUNCE_EVERY)
+
+    announcer = asyncio.get_running_loop().create_task(announce_dcd())
+
     process = None
     if args.input is not None:
-        process = ABAProcess(
-            node.host,
-            broadcast,
-            coin,
-            instance_id=DEFAULT_INSTANCE,
-            on_decide=lambda v: decided.setdefault(DEFAULT_INSTANCE, v),
-        )
-        process.start(args.input)
+        if journal is not None and DEFAULT_INSTANCE in journal.state.decisions:
+            # Already decided in a prior life: re-announce, never re-run —
+            # re-deciding could contradict what peers already acted on.
+            value, rnd = journal.state.decisions[DEFAULT_INSTANCE]
+            decided[DEFAULT_INSTANCE] = value
+            rounds[DEFAULT_INSTANCE] = rnd
+        elif rejoined:
+            # Crashed mid-agreement: the ABA messages this incarnation
+            # missed were shed by peers' DOWN rings and cannot be
+            # replayed, so a fresh ABAProcess could stall (or worse,
+            # diverge).  Rely on the dcd gadget: some honest quorum is
+            # still live (kills are bounded by t) and will decide.
+            pass
+        else:
+            if journal is not None:
+                journal.record_input(DEFAULT_INSTANCE, args.input)
+
+            def on_decide(v: object) -> None:
+                if DEFAULT_INSTANCE in decided:
+                    return
+                decided[DEFAULT_INSTANCE] = v
+                rounds[DEFAULT_INSTANCE] = process.rounds_used
+                if journal is not None:
+                    journal.record_decision(
+                        DEFAULT_INSTANCE, v, process.rounds_used
+                    )
+
+            process = ABAProcess(
+                node.host,
+                broadcast,
+                coin,
+                instance_id=DEFAULT_INSTANCE,
+                on_decide=on_decide,
+            )
+            process.start(args.input)
     coin_outputs: dict[int, int] = {}
+
+    def on_coin(k: int, v: object) -> None:
+        if k in coin_outputs:
+            return
+        coin_outputs[k] = v
+        if journal is not None:
+            journal.record_coin(("cc", "solo", k), v)
+
     for k in range(args.coins):
         csid = ("cc", "solo", k)
+        if journal is not None and csid in journal.state.coins:
+            coin_outputs[k] = journal.state.coins[csid]
+            continue
         coin.join(csid)
-        coin.get(csid, lambda v, k=k: coin_outputs.setdefault(k, v))
+        coin.get(csid, lambda v, k=k: on_coin(k, v))
         coin.release(csid)
 
     def done() -> bool:
-        if process is not None and DEFAULT_INSTANCE not in decided:
+        if args.input is not None and DEFAULT_INSTANCE not in decided:
             return False
         return len(coin_outputs) == args.coins
 
@@ -116,16 +263,18 @@ async def _child_main(args: argparse.Namespace) -> int:
     if DEFAULT_INSTANCE in decided:
         report["decisions"][DEFAULT_INSTANCE] = [
             decided[DEFAULT_INSTANCE],
-            process.rounds_used,
+            rounds.get(DEFAULT_INSTANCE, 0),
         ]
     report["coins"] = {str(k): v for k, v in coin_outputs.items()}
+    if journal is not None and vss is not None:
+        journal.record_shun_set(vss.dmm.shunned_or_suspected())
     report["stats"] = node.stats()
     print(REPORT_PREFIX + json.dumps(report), flush=True)
 
-    # Stay online (serving retransmits to slower peers) until the parent
-    # releases us — or until stdin hits EOF because the parent died.  A
-    # pipe reader (not an executor thread blocked in readline) keeps the
-    # loop shutdown joinable.
+    # Stay online (serving retransmits to slower peers, announcing dcd to
+    # rejoiners) until the parent releases us — or until stdin hits EOF
+    # because the parent died.  A pipe reader (not an executor thread
+    # blocked in readline) keeps the loop shutdown joinable.
     loop = asyncio.get_running_loop()
     stdin_reader = asyncio.StreamReader()
     await loop.connect_read_pipe(
@@ -135,8 +284,23 @@ async def _child_main(args: argparse.Namespace) -> int:
         await asyncio.wait_for(stdin_reader.readline(), timeout=args.timeout)
     except asyncio.TimeoutError:
         pass
+    for task in (heartbeats, announcer):
+        task.cancel()
+        try:
+            await task
+        except (asyncio.CancelledError, Exception):
+            pass
     await node.close()
     return 1 if report.get("timeout") else 0
+
+
+async def _heartbeat_loop() -> None:
+    """One ``HB`` line per second: the parent's liveness signal.  A child
+    wedged in a handler (or deadlocked) stops printing and gets killed at
+    the parent's ``hung_after`` deadline."""
+    while True:
+        print("HB", flush=True)
+        await asyncio.sleep(HEARTBEAT_EVERY)
 
 
 # ---------------------------------------------------------------------------
@@ -153,22 +317,53 @@ async def run_processes(
     kill_after: "dict[int, float] | None" = None,
     timeout: float = 60.0,
     host: str = "127.0.0.1",
+    restart: "dict[int, tuple[float, float]] | None" = None,
+    journal_dir: "str | Path | None" = None,
+    auth: bool = True,
+    hung_after: "float | None" = None,
+    hang: "set[int] | None" = None,
 ) -> dict:
     """Run agreement (and ``coins`` coin flips) across n OS processes.
 
     ``kill_after`` maps pid -> seconds: those children are SIGKILLed that
     long into the run and never restarted — fail-stop crashes of up to t
     processes; the verdict's liveness bar covers the survivors only.
+
+    ``restart`` maps pid -> (kill_at, restart_at) seconds: SIGKILL at
+    ``kill_at``, relaunch the same child argv at ``restart_at`` — the
+    replacement replays its journal and must still report (and agree,
+    with the cluster *and* with its own journaled past).  Needs a
+    ``journal_dir`` (a temporary one is created, and cleaned up, when
+    omitted).  Killed-or-restarted pids are capped at t together.
+
+    ``hung_after`` arms the heartbeat deadline: a child with no stdout
+    line for that long is killed and recorded as a ``hung`` violation.
+    ``hang`` pids wedge deliberately (test hook for that path).
+
+    ``auth`` (default on) derives the cluster HMAC secret from ``seed``
+    and hands it to every child — impostor HELLOs are then dropped.
     Returns the :class:`NetVerdict` verdict dict with per-child
     ``reports`` attached.
     """
     config = SystemConfig(n=n, seed=seed)
     kill_after = kill_after or {}
-    if len(kill_after) > config.t:
+    restart = restart or {}
+    hang = hang or set()
+    if set(kill_after) & set(restart):
         raise ValueError(
-            f"killing {len(kill_after)} > t = {config.t} processes forfeits "
+            f"pids {sorted(set(kill_after) & set(restart))} both killed "
+            "and restarted; pick one"
+        )
+    faulted = len(kill_after) + len(restart) + len(hang)
+    if faulted > config.t:
+        raise ValueError(
+            f"faulting {faulted} > t = {config.t} processes forfeits "
             "the liveness bar"
         )
+    own_journal_dir = None
+    if restart and journal_dir is None:
+        journal_dir = own_journal_dir = tempfile.mkdtemp(prefix="repro-net-j-")
+    secret_hex = derive_cluster_secret(seed).hex() if auth else None
     ports = _free_ports(n, host)
     port_of = {pid: ports[pid - 1] for pid in config.pids}
     profile = resolve_profile(chaos)
@@ -194,6 +389,12 @@ async def run_processes(
         ]
         if inputs is not None:
             argv += ["--input", str(inputs[pid - 1])]
+        if secret_hex is not None:
+            argv += ["--secret", secret_hex]
+        if journal_dir is not None:
+            argv += ["--journal", str(Path(journal_dir) / f"node-{pid}.journal")]
+        if pid in hang:
+            argv += ["--hang"]
         return await asyncio.create_subprocess_exec(
             *argv,
             stdin=asyncio.subprocess.PIPE,
@@ -209,20 +410,67 @@ async def run_processes(
         await asyncio.sleep(delay)
         children[pid].kill()
 
+    respawned = {pid: asyncio.Event() for pid in restart}
+
+    async def restarter(pid: int, kill_at: float, restart_at: float) -> None:
+        await asyncio.sleep(kill_at)
+        children[pid].kill()
+        await children[pid].wait()  # reap the corpse; its port frees here
+        await asyncio.sleep(max(0.0, restart_at - kill_at))
+        children[pid] = await spawn(pid)
+        respawned[pid].set()
+
     reapers = [
         asyncio.get_running_loop().create_task(reap(pid, delay))
         for pid, delay in kill_after.items()
+    ] + [
+        asyncio.get_running_loop().create_task(restarter(pid, k, r))
+        for pid, (k, r) in restart.items()
     ]
 
-    async def read_report(pid: int) -> "dict | None":
-        child = children[pid]
+    async def read_report(pid: int):
+        """One pid's report — across incarnations for restarted pids.
+
+        Returns the report dict, ``"hung"`` if the child blew the
+        heartbeat deadline (it is killed here), or None on EOF without a
+        report.  Heartbeat lines reset the deadline and are discarded.
+        """
         while True:
-            line = await child.stdout.readline()
-            if not line:
-                return None
-            text = line.decode("utf-8", "replace").strip()
-            if text.startswith(REPORT_PREFIX):
-                return json.loads(text[len(REPORT_PREFIX):])
+            child = children[pid]
+            try:
+                if hung_after is not None:
+                    line = await asyncio.wait_for(
+                        child.stdout.readline(), timeout=hung_after
+                    )
+                else:
+                    line = await child.stdout.readline()
+            except asyncio.TimeoutError:
+                try:
+                    child.kill()
+                except ProcessLookupError:
+                    pass
+                return "hung"
+            if line:
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith(REPORT_PREFIX):
+                    if pid in restart and not respawned[pid].is_set():
+                        # The pre-kill incarnation got its report out
+                        # before the SIGKILL landed.  The run's verdict
+                        # must judge the *rejoined* incarnation (whose
+                        # prior_decisions carry this one's decision), so
+                        # discard and read on across the restart.
+                        continue
+                    return json.loads(text[len(REPORT_PREFIX):])
+                continue  # heartbeat or stray output
+            # EOF: a restarted pid's first incarnation died on schedule —
+            # carry on reading the replacement's stdout.
+            if pid in restart:
+                if not respawned[pid].is_set():
+                    await respawned[pid].wait()
+                    continue
+                if children[pid] is not child:
+                    continue
+            return None
 
     survivors = [pid for pid in config.pids if pid not in kill_after]
     verdict = NetVerdict(n, config.t)
@@ -234,18 +482,24 @@ async def run_processes(
         asyncio.gather(
             *(read_report(pid) for pid in survivors), return_exceptions=True
         ),
-        timeout=timeout + 15.0,
+        timeout=timeout + 15.0 + max(
+            (r for _, r in restart.values()), default=0.0
+        ),
     )
     reports = {}
+    hung_pids = []
     for pid, report in zip(survivors, gather):
-        if isinstance(report, dict):
+        if report == "hung":
+            hung_pids.append(pid)
+            verdict.mark_hung(pid)
+        elif isinstance(report, dict):
             reports[pid] = report
             verdict.add_report(report)
     for reaper in reapers:
         if not reaper.done():
             reaper.cancel()
     for pid, child in children.items():
-        if pid in kill_after:
+        if pid in kill_after or pid in hung_pids:
             continue
         try:
             child.stdin.write(b"exit\n")
@@ -265,9 +519,14 @@ async def run_processes(
     )
     for proxy in proxies.values():
         await proxy.close()
+    if own_journal_dir is not None:
+        shutil.rmtree(own_journal_dir, ignore_errors=True)
     result = verdict.check(expect_all_decided=inputs is not None)
     result["reports"] = reports
-    missing = [pid for pid in survivors if pid not in reports]
+    missing = [
+        pid for pid in survivors
+        if pid not in reports and pid not in hung_pids
+    ]
     if missing:
         result["violations"].append(
             {
@@ -294,11 +553,26 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--inputs", default=None, help="comma-separated, one per pid"
     )
+    parser.add_argument(
+        "--journal-dir", default=None,
+        help="directory for per-node write-ahead journals",
+    )
+    parser.add_argument(
+        "--hung-after", type=float, default=None,
+        help="kill a child silent for this many seconds (hung verdict)",
+    )
+    parser.add_argument(
+        "--no-auth", action="store_true",
+        help="disable HMAC-authenticated handshakes",
+    )
     # child-only:
     parser.add_argument("--pid", type=int, default=0, help=argparse.SUPPRESS)
     parser.add_argument("--port", type=int, default=0, help=argparse.SUPPRESS)
     parser.add_argument("--peers", default="", help=argparse.SUPPRESS)
     parser.add_argument("--input", type=int, default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--secret", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--journal", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--hang", action="store_true", help=argparse.SUPPRESS)
     return parser
 
 
@@ -319,6 +593,9 @@ def main(argv: "list[str] | None" = None) -> int:
             seed=args.seed,
             chaos=args.chaos,
             timeout=args.timeout,
+            journal_dir=args.journal_dir,
+            auth=not args.no_auth,
+            hung_after=args.hung_after,
         )
     )
     summary = {k: v for k, v in result.items() if k != "reports"}

@@ -55,22 +55,41 @@ that keeps protocol state: handler tables and modules survive, socket
 buffers and queues do not, and the epoch bump makes every peer reset its
 per-link sequence expectations (amnesia-free, wire-lossy — the same
 contract as ``Runtime.recover``).
+
+Durability and identity.  A node built with a
+:class:`~repro.net.journal.Journal` persists its link state: the
+transport epoch is fsynced at startup, per-link send/recv seqs are noted
+on the hot path and flushed on a timer (so the clean path stays within a
+few percent of the journal-less figure), and a node restarted from the
+same journal — a *new OS process* after ``kill -9`` — resumes its links
+where receivers expect them instead of starting amnesiac.  When
+``TransportConfig.auth_secret`` is set, every inbound HELLO must answer
+an HMAC challenge/response before WELCOME (per-pair keys derived from
+the cluster secret): an impostor claiming another pid is counted
+(``auth_rejected``) and ignored without ever stalling honest links — the
+stepping stone to TLS-bound identities.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import hmac
 import itertools
+import os
 import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from random import Random
 
 from repro.config import SystemConfig
 from repro.errors import SimulationError
 from repro.net.codec import (
     FRAME_ACK,
+    FRAME_AUTH,
+    FRAME_CHALLENGE,
     FRAME_DATA,
     FRAME_HELLO,
     FRAME_PING,
@@ -84,6 +103,7 @@ from repro.net.codec import (
     encode_frame,
     encode_value,
 )
+from repro.net.journal import Journal
 from repro.sim.process import ProcessHost
 from repro.sim.tracing import TRACE_FULL, Trace
 
@@ -130,6 +150,34 @@ class TransportConfig:
     down_after: float = 6.0
     down_queue_cap: int = 8192
     max_frame_body: int = MAX_FRAME_BODY
+    #: Cluster shared secret for HMAC handshake authentication.  Empty
+    #: means auth is off (HELLO -> WELCOME, the pre-journal handshake);
+    #: non-empty requires every inbound HELLO to answer a challenge with
+    #: a MAC under the per-pair key before any WELCOME is issued.
+    auth_secret: bytes = b""
+    #: Journal flush cadence: coalesced seq notes hit the file (and, on
+    #: the ``batch`` fsync policy, the disk) at most this often.
+    journal_flush_interval: float = 0.05
+    #: Journal fsync policy when the node builds its own Journal from a
+    #: path: ``always`` / ``batch`` / ``never``.
+    journal_fsync: str = "batch"
+
+
+def derive_pair_key(secret: bytes, a: int, b: int) -> bytes:
+    """The (a, b) link key: HMAC of the unordered pair under the cluster
+    secret, so both endpoints derive the same key and no third party with
+    a different pair's key can forge for this one."""
+    lo, hi = (a, b) if a <= b else (b, a)
+    return hmac.new(secret, f"pair:{lo}:{hi}".encode(), hashlib.sha256).digest()
+
+
+def handshake_mac(
+    key: bytes, nonce: bytes, src: int, dst: int, epoch: int, base: int
+) -> bytes:
+    """MAC binding one handshake: the challenge nonce plus every HELLO
+    field the receiver is about to trust (direction, epoch, seq base)."""
+    msg = encode_value(("net-auth", nonce, src, dst, epoch, base, PROTO_VERSION))
+    return hmac.new(key, msg, hashlib.sha256).digest()
 
 
 @dataclass
@@ -143,6 +191,7 @@ class PeerStats:
     connect_failures: int = 0
     dropped_while_down: int = 0
     went_down: int = 0
+    auth_challenges: int = 0
 
 
 class NetworkHost(ProcessHost):
@@ -285,9 +334,16 @@ class PeerConnection:
         self.stats = PeerStats()
         #: (seq, frame_bytes) in seq order: unacked prefix + unsent tail.
         self.queue: deque[tuple[int, bytes]] = deque()
-        self._next_seq = 1
+        #: Seqs resume past the journaled high-water, never regressing —
+        #: even if a torn journal tail lost the epoch bump, a receiver
+        #: holding old-incarnation state sees only forward seqs.
+        journal = node.journal
+        base_seq = (
+            journal.state.send_seq.get(dst, 0) + 1 if journal is not None else 1
+        )
+        self._next_seq = base_seq
         #: Next seq to (re)write on the current connection.
-        self._cursor = 1
+        self._cursor = base_seq
         self._wake = asyncio.Event()
         self._task: asyncio.Task | None = None
         self._last_up = time.monotonic()
@@ -346,6 +402,9 @@ class PeerConnection:
         frame = encode_frame(FRAME_DATA, SEQ_PREFIX.pack(seq) + enc)
         self.queue.append((seq, frame))
         self.stats.sent += 1
+        journal = self.node.journal
+        if journal is not None:
+            journal.note_send(self.dst, seq)  # coalesced; flushed on a timer
         if (
             self.state == PEER_DOWN
             and len(self.queue) > self.tconfig.down_queue_cap
@@ -415,7 +474,7 @@ class PeerConnection:
             writer.write(encode_frame(FRAME_HELLO, encode_value(hello)))
             await writer.drain()
             next_expected = await asyncio.wait_for(
-                self._await_welcome(reader, parser),
+                self._await_welcome(reader, writer, parser, base),
                 timeout=tconf.connect_timeout,
             )
             # Frames the receiver already holds need no resend.
@@ -460,12 +519,46 @@ class PeerConnection:
             except Exception:
                 writer.transport.abort()
 
-    async def _await_welcome(self, reader, parser: FrameParser) -> int:
+    async def _await_welcome(
+        self, reader, writer, parser: FrameParser, base: int
+    ) -> int:
+        """Wait for WELCOME, answering the receiver's auth challenge if
+        one arrives first (the receiver issues it iff auth is on)."""
         while True:
             data = await reader.read(65536)
             if not data:
                 raise ConnectionError("closed before WELCOME")
             for ftype, body in parser.feed(data):
+                if ftype == FRAME_CHALLENGE:
+                    try:
+                        value = decode_value(body)
+                    except CodecError:
+                        continue
+                    if not (
+                        isinstance(value, tuple)
+                        and len(value) == 3
+                        and value[0] == "challenge"
+                        and value[1] == self.dst
+                        and isinstance(value[2], bytes)
+                    ):
+                        continue
+                    secret = self.tconfig.auth_secret
+                    if not secret:
+                        continue  # receiver wants auth we cannot provide
+                    key = derive_pair_key(secret, self.node.pid, self.dst)
+                    mac = handshake_mac(
+                        key, value[2], self.node.pid, self.dst,
+                        self.node.epoch, base,
+                    )
+                    writer.write(
+                        encode_frame(
+                            FRAME_AUTH,
+                            encode_value(("auth", self.node.pid, mac)),
+                        )
+                    )
+                    await writer.drain()
+                    self.stats.auth_challenges += 1
+                    continue
                 if ftype != FRAME_WELCOME:
                     continue
                 try:
@@ -663,6 +756,7 @@ class NetworkNode:
         tconfig: TransportConfig | None = None,
         trace_level: int = TRACE_FULL,
         context: "object | None" = None,
+        journal: "Journal | str | Path | None" = None,
     ):
         if pid not in config.pids:
             raise SimulationError(f"pid {pid} not in 1..{config.n}")
@@ -670,7 +764,13 @@ class NetworkNode:
         self.pid = pid
         self.tconfig = tconfig or TransportConfig()
         self.context = context
-        self.epoch = 1
+        if isinstance(journal, (str, Path)):
+            journal = Journal(journal, fsync=self.tconfig.journal_fsync)
+        self.journal = journal
+        #: The new incarnation's epoch strictly follows every journaled
+        #: one, fsynced before any link opens: receivers key their links
+        #: by (src, epoch), so a crashed incarnation's state never leaks.
+        self.epoch = 1 if journal is None else journal.state.epoch + 1
         self.runtime = NetRuntime(self, config, trace_level=trace_level)
         self.host = NetworkHost(self.runtime, pid, self)
         self.peers: dict[int, PeerConnection] = {}
@@ -682,6 +782,17 @@ class NetworkNode:
         self._gate.set()
         self._notify_event = asyncio.Event()
         self._recv_links: dict[int, _RecvLink] = {}
+        if journal is not None:
+            # Make the incarnation durable *before* any link opens, then
+            # restore receive expectations: a sender that stayed up keeps
+            # its epoch and seqs, and must not be re-delivered from 1.
+            journal.record_epoch(self.epoch)
+            for src, (link_epoch, nxt) in journal.state.recv_links.items():
+                link = _RecvLink(link_epoch)
+                link.next_expected = nxt
+                self._recv_links[src] = link
+        self._journal_task: asyncio.Task | None = None
+        self.auth_rejected = 0
         self._rng = config.derive_rng("net", pid)
         self.port: int | None = None
         self.delivered = 0
@@ -715,6 +826,10 @@ class NetworkNode:
         if self._pump_task is None:
             self._pump_task = asyncio.get_running_loop().create_task(
                 self._pump(), name=f"pump-{self.pid}"
+            )
+        if self.journal is not None and self._journal_task is None:
+            self._journal_task = asyncio.get_running_loop().create_task(
+                self._journal_flush_loop(), name=f"journal-{self.pid}"
             )
         return self.port
 
@@ -757,7 +872,18 @@ class NetworkNode:
             peer.queue.clear()
             peer.state = PEER_CONNECTING
             peer._task = None
-        self._recv_links.clear()
+        if self.journal is not None:
+            # Persist exact link state, and *keep* the receive links: a
+            # journal-backed node is durable across the crash, so frames
+            # it already delivered must never be accepted a second time
+            # when the sender retransmits into the new incarnation.
+            for src, link in self._recv_links.items():
+                self.journal.note_recv(src, link.epoch, link.next_expected)
+            self.journal.flush_notes()
+            for link in self._recv_links.values():
+                link.buffer.clear()
+        else:
+            self._recv_links.clear()
         # Anything already pumped into the inbox belongs to the crashed
         # incarnation's socket buffers: purge, like Runtime's recover().
         while not self._inbox.empty():
@@ -768,6 +894,8 @@ class NetworkNode:
         """Rebind the server (same port) and reconnect every peer under a
         new epoch, so peers' receive links reset their seq expectations."""
         self.epoch += 1
+        if self.journal is not None:
+            self.journal.record_epoch(self.epoch)
         port = await self.start_server(self.port or 0)
         self.start_peers()
         return port
@@ -781,6 +909,26 @@ class NetworkNode:
             except (asyncio.CancelledError, Exception):
                 pass
             self._pump_task = None
+        if self._journal_task is not None:
+            self._journal_task.cancel()
+            try:
+                await self._journal_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._journal_task = None
+        if self.journal is not None:
+            self.journal.close()
+
+    async def _journal_flush_loop(self) -> None:
+        """Flush coalesced seq notes on a timer: the hot path only does
+        dict writes, this loop amortises encode+write+fsync across every
+        frame sent since the last tick."""
+        journal = self.journal
+        assert journal is not None
+        interval = self.tconfig.journal_flush_interval
+        while True:
+            await asyncio.sleep(interval)
+            journal.flush_notes()
 
     # -- outbound ----------------------------------------------------------
     def dispatch_out(self, dst: int, payload: object, enc: bytes | None = None) -> None:
@@ -833,6 +981,12 @@ class NetworkNode:
         parser = FrameParser(self.tconfig.max_frame_body)
         src: int | None = None
         link: _RecvLink | None = None
+        #: HELLO awaiting its challenge response: (src, epoch, base, nonce).
+        pending_auth: tuple[int, int, int, bytes] | None = None
+        #: pid proven by challenge/response *on this connection* — a
+        #: re-HELLO from the same authenticated pid (mid-session base
+        #: re-announce) is trusted without a fresh round trip.
+        authed_src: int | None = None
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
@@ -844,7 +998,33 @@ class NetworkNode:
                 out = bytearray()
                 for ftype, body in parser.feed(data):
                     if ftype == FRAME_HELLO:
-                        src, link = self._on_hello(body, out)
+                        hello = self._validate_hello(body)
+                        if hello is None:
+                            continue
+                        if self.tconfig.auth_secret and hello[0] != authed_src:
+                            nonce = os.urandom(16)
+                            pending_auth = (*hello, nonce)
+                            out += encode_frame(
+                                FRAME_CHALLENGE,
+                                encode_value(("challenge", self.pid, nonce)),
+                            )
+                            continue
+                        src, link = self._adopt_link(*hello, out)
+                    elif ftype == FRAME_AUTH:
+                        if pending_auth is None or not self._check_auth(
+                            body, *pending_auth
+                        ):
+                            # An impostor (or a peer with the wrong
+                            # secret) never gets a link — and never gets
+                            # to stall this loop either: the connection
+                            # stays open, honest frames keep flowing.
+                            self.auth_rejected += 1
+                            pending_auth = None
+                            continue
+                        a_src, a_epoch, a_base, _ = pending_auth
+                        pending_auth = None
+                        authed_src = a_src
+                        src, link = self._adopt_link(a_src, a_epoch, a_base, out)
                     elif link is None:
                         continue  # no valid handshake yet: ignore traffic
                     elif ftype == FRAME_DATA:
@@ -879,11 +1059,17 @@ class NetworkNode:
             except Exception:
                 writer.transport.abort()
 
-    def _on_hello(self, body: bytes, out: bytearray):
+    def _validate_hello(self, body: bytes) -> "tuple[int, int, int] | None":
+        """Shape-check one HELLO body; returns ``(src, epoch, base)``.
+
+        Validation is split from adoption because an authenticated node
+        must not touch link state until the challenge round trip proves
+        the claimed pid — an impostor's HELLO would otherwise reset an
+        honest sender's receive link just by naming its pid."""
         try:
             value = decode_value(body)
         except CodecError:
-            return None, None
+            return None
         if not (
             isinstance(value, tuple)
             and len(value) == 5
@@ -895,8 +1081,30 @@ class NetworkNode:
             and isinstance(value[4], int)
             and value[4] >= 1
         ):
-            return None, None
-        src, epoch, base = value[1], value[2], value[4]
+            return None
+        return value[1], value[2], value[4]
+
+    def _check_auth(
+        self, body: bytes, src: int, epoch: int, base: int, nonce: bytes
+    ) -> bool:
+        """Verify one FRAME_AUTH against the pending challenge."""
+        try:
+            value = decode_value(body)
+        except CodecError:
+            return False
+        if not (
+            isinstance(value, tuple)
+            and len(value) == 3
+            and value[0] == "auth"
+            and value[1] == src
+            and isinstance(value[2], bytes)
+        ):
+            return False
+        key = derive_pair_key(self.tconfig.auth_secret, src, self.pid)
+        expected = handshake_mac(key, nonce, src, self.pid, epoch, base)
+        return hmac.compare_digest(expected, value[2])
+
+    def _adopt_link(self, src: int, epoch: int, base: int, out: bytearray):
         link = self._recv_links.get(src)
         if link is None or link.epoch != epoch:
             # New sender incarnation: adopt its announced seq base (seqs
@@ -943,6 +1151,11 @@ class NetworkNode:
                 self._deliver_raw(src, buffer.pop(link.next_expected))
                 link.next_expected += 1
                 link.since_ack += 1
+            if self.journal is not None:
+                # Coalesced note (dict write): the flush timer persists
+                # the highest delivered seq, so a restarted incarnation
+                # never re-accepts what this one already handed up.
+                self.journal.note_recv(src, link.epoch, link.next_expected)
             if link.since_ack >= self.tconfig.ack_every:
                 out += self._ack_frame(link)
         elif seq < link.next_expected:
@@ -1034,6 +1247,8 @@ class NetworkNode:
             "pid": self.pid,
             "delivered": self.delivered,
             "frame_errors": dict(self.frame_errors),
+            "auth_rejected": self.auth_rejected,
+            "journal": None if self.journal is None else self.journal.stats(),
             "peers": {
                 dst: {
                     "state": peer.state,
@@ -1044,6 +1259,8 @@ class NetworkNode:
                     "reconnects": peer.stats.reconnects,
                     "connect_failures": peer.stats.connect_failures,
                     "dropped_while_down": peer.stats.dropped_while_down,
+                    "went_down": peer.stats.went_down,
+                    "auth_challenges": peer.stats.auth_challenges,
                 }
                 for dst, peer in sorted(self.peers.items())
             },

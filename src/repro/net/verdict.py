@@ -15,7 +15,17 @@ same invariants over the collected reports after the fact:
   or split (a legal outcome of the paper's coin — recorded, never a
   violation), and agreement-rate tallies are reported so drivers can
   check the ε bound statistically;
-* **liveness** — every process expected to decide did.
+* **liveness** — every process expected to decide did;
+* **self-agreement** — a process relaunched from its journal never
+  contradicts its own journaled decision (the restarted-node half of
+  agreement-safety: amnesia would show up here first);
+* **hung** — a child the parent killed for missing its heartbeat
+  deadline is a recorded violation, not a silent wall-clock burn.
+
+``check()`` also aggregates the observability counters from the per-
+child ``stats`` blocks (frame errors by cause, ``auth_rejected``,
+``journal_replayed``, rejoined pids) so byzantine-frame and impostor
+pressure is visible in the verdict, not just survived.
 
 ``check()`` returns the verdict dict; any violation also lands in
 ``verdict["violations"]`` and makes :attr:`safe` False.  The shape
@@ -56,6 +66,14 @@ class NetVerdict:
             )
         self.reports[pid] = report
 
+    def mark_hung(self, pid: int) -> None:
+        """Record a child killed for missing its heartbeat deadline."""
+        self._violate(
+            "hung",
+            {"pid": pid},
+            f"process {pid} stopped heartbeating and was killed",
+        )
+
     def _violate(self, kind: str, detail: dict, message: str) -> None:
         self.violations.append(
             {"kind": kind, "message": message, "detail": detail}
@@ -83,6 +101,21 @@ class NetVerdict:
                         )
                 per_pid[pid] = value
                 rounds.setdefault(instance, {})[pid] = r
+        for pid, report in sorted(self.reports.items()):
+            for instance, prior in report.get("prior_decisions", {}).items():
+                current = report.get("decisions", {}).get(instance)
+                if current is not None and current[0] != prior[0]:
+                    self._violate(
+                        "self-contradiction",
+                        {
+                            "instance": instance,
+                            "pid": pid,
+                            "prior": prior[0],
+                            "decided": current[0],
+                        },
+                        f"process {pid} decided {current[0]!r} in "
+                        f"{instance!r} but its journal says {prior[0]!r}",
+                    )
         for instance, inputs in self._inputs.items():
             values = set(inputs.values())
             if len(inputs) == self.n and len(values) == 1:
@@ -126,6 +159,20 @@ class NetVerdict:
                 coin_agreed += 1
             else:
                 coin_split += 1
+        frame_errors: dict[str, int] = {}
+        auth_rejected = 0
+        journal_replayed = 0
+        rejoined: list[int] = []
+        for pid, report in sorted(self.reports.items()):
+            stats = report.get("stats", {})
+            for cause, count in stats.get("frame_errors", {}).items():
+                frame_errors[cause] = frame_errors.get(cause, 0) + count
+            auth_rejected += stats.get("auth_rejected", 0)
+            journal = stats.get("journal")
+            if journal:
+                journal_replayed += journal.get("replayed", 0)
+            if report.get("rejoined"):
+                rejoined.append(pid)
         return {
             "n": self.n,
             "t": self.t,
@@ -142,6 +189,10 @@ class NetVerdict:
             "coin_invocations": len(coin_outputs),
             "coin_agreed": coin_agreed,
             "coin_split": coin_split,
+            "frame_errors": frame_errors,
+            "auth_rejected": auth_rejected,
+            "journal_replayed": journal_replayed,
+            "rejoined": rejoined,
             "violations": list(self.violations),
         }
 

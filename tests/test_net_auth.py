@@ -1,0 +1,257 @@
+"""Authenticated-handshake and journal-era restart tests.
+
+HMAC challenge/response gates every inbound HELLO when the cluster
+secret is set: an impostor claiming an honest pid is counted and
+ignored — without stalling the honest link it tried to steal.  The
+restart tests are the journal-era twin of PR 7's handshake-vs-DOWN-ring
+race: a transport restarted (in-process) or a node rebuilt cold from its
+journal (the ``kill -9`` analogue) must never regress a seq and never
+deliver a frame twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.config import SystemConfig
+from repro.net.codec import (
+    FRAME_AUTH,
+    FRAME_CHALLENGE,
+    FRAME_HELLO,
+    FrameParser,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+from repro.net.transport import (
+    PROTO_VERSION,
+    NetworkNode,
+    TransportConfig,
+    derive_pair_key,
+    handshake_mac,
+)
+from repro.sim.tracing import TRACE_OFF
+
+
+SECRET = b"cluster-secret-for-tests"
+
+FAST = TransportConfig(
+    connect_timeout=0.5,
+    backoff_base=0.02,
+    backoff_max=0.2,
+    heartbeat_interval=0.1,
+    idle_timeout=1.0,
+    rto=0.1,
+    down_after=0.5,
+    auth_secret=SECRET,
+    journal_flush_interval=0.02,
+)
+
+
+def _wire(config, tconfigs, journals=None):
+    """Start one node per (pid, tconfig) wired into one address book."""
+
+    async def build():
+        nodes = {}
+        for pid, tconfig in tconfigs.items():
+            journal = (journals or {}).get(pid)
+            nodes[pid] = NetworkNode(
+                config, pid, tconfig=tconfig, trace_level=TRACE_OFF,
+                journal=journal,
+            )
+            await nodes[pid].start_server()
+        book = {pid: ("127.0.0.1", n.port) for pid, n in nodes.items()}
+        for node in nodes.values():
+            node.set_peers(book)
+            node.start_peers()
+        return nodes
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Handshake authentication
+# ---------------------------------------------------------------------------
+
+
+def test_authenticated_pair_delivers_both_ways():
+    config = SystemConfig(n=4, seed=7)
+
+    async def main():
+        nodes = await _wire(config, {1: FAST, 2: FAST})()
+        a, b = nodes[1], nodes[2]
+        got_a, got_b = [], []
+        a.host.register_handler("msg", lambda src, p: got_a.append(p[1]))
+        b.host.register_handler("msg", lambda src, p: got_b.append(p[1]))
+        for i in range(10):
+            a.dispatch_out(2, ("msg", i))
+            b.dispatch_out(1, ("msg", i))
+        await a.wait_for(lambda: len(got_a) == 10, timeout=10)
+        await b.wait_for(lambda: len(got_b) == 10, timeout=10)
+        assert a.peers[2].stats.auth_challenges >= 1
+        assert b.peers[1].stats.auth_challenges >= 1
+        assert a.auth_rejected == 0 and b.auth_rejected == 0
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_impostor_hello_rejected_without_stalling_honest_link():
+    """A raw TCP client claims pid 1 with a garbage MAC while the real
+    pid 1 keeps sending: the impostor is counted and never welcomed, the
+    honest link is untouched."""
+    config = SystemConfig(n=4, seed=7)
+
+    async def main():
+        nodes = await _wire(config, {1: FAST, 2: FAST})()
+        a, b = nodes[1], nodes[2]
+        got = []
+        b.host.register_handler("msg", lambda src, p: got.append(p[1]))
+
+        async def impostor():
+            reader, writer = await asyncio.open_connection("127.0.0.1", b.port)
+            hello = ("hello", 1, 99, PROTO_VERSION, 1)
+            writer.write(encode_frame(FRAME_HELLO, encode_value(hello)))
+            await writer.drain()
+            parser = FrameParser(FAST.max_frame_body)
+            challenged = False
+            while not challenged:
+                data = await asyncio.wait_for(reader.read(65536), timeout=5)
+                assert data, "server closed before challenging"
+                for ftype, body in parser.feed(data):
+                    if ftype == FRAME_CHALLENGE:
+                        value = decode_value(body)
+                        assert value[0] == "challenge"
+                        challenged = True
+            writer.write(
+                encode_frame(
+                    FRAME_AUTH, encode_value(("auth", 1, b"\x00" * 32))
+                )
+            )
+            await writer.drain()
+            writer.close()
+
+        for i in range(30):
+            a.dispatch_out(2, ("msg", i))
+        await impostor()
+        await b.wait_for(lambda: len(got) == 30, timeout=10)
+        await b.wait_for(lambda: b.auth_rejected >= 1, timeout=5)
+        assert got == list(range(30))
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_wrong_secret_never_welcomed():
+    config = SystemConfig(n=4, seed=7)
+    import dataclasses
+    wrong = dataclasses.replace(FAST, auth_secret=b"not-the-secret")
+
+    async def main():
+        nodes = await _wire(config, {1: wrong, 2: FAST})()
+        a, b = nodes[1], nodes[2]
+        got = []
+        b.host.register_handler("msg", lambda src, p: got.append(p[1]))
+        a.dispatch_out(2, ("msg", 1))
+        await b.wait_for(lambda: b.auth_rejected >= 1, timeout=10)
+        assert got == []  # the MAC check, not luck, kept it out
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_mac_binds_direction_and_epoch():
+    key = derive_pair_key(SECRET, 1, 2)
+    assert key == derive_pair_key(SECRET, 2, 1)  # unordered pair
+    mac = handshake_mac(key, b"n" * 16, 1, 2, 1, 1)
+    assert mac != handshake_mac(key, b"n" * 16, 2, 1, 1, 1)  # direction
+    assert mac != handshake_mac(key, b"n" * 16, 1, 2, 2, 1)  # epoch
+    assert mac != handshake_mac(key, b"n" * 16, 1, 2, 1, 9)  # seq base
+    assert mac != handshake_mac(derive_pair_key(SECRET, 1, 3), b"n" * 16, 1, 2, 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# Restart races (journal era)
+# ---------------------------------------------------------------------------
+
+
+def test_restart_transport_race_no_duplicates_with_journal(tmp_path):
+    """``restart_transport`` racing in-flight handshakes: with a journal
+    attached the receiver keeps its delivery cursor across the restart,
+    so the retransmit storm that follows resyncs without a single
+    duplicate or regressed seq."""
+    config = SystemConfig(n=4, seed=7)
+
+    async def main():
+        nodes = await _wire(
+            config, {1: FAST, 2: FAST},
+            journals={2: tmp_path / "node-2.journal"},
+        )()
+        a, b = nodes[1], nodes[2]
+        got = []
+        b.host.register_handler("msg", lambda src, p: got.append(p[1]))
+
+        async def sender():
+            for i in range(300):
+                a.dispatch_out(2, ("msg", i))
+                if i % 50 == 0:
+                    await asyncio.sleep(0.01)
+
+        async def restarter():
+            # Two quick restarts land mid-burst, racing HELLO/WELCOME.
+            for _ in range(2):
+                await asyncio.sleep(0.05)
+                await b.stop_transport()
+                await asyncio.sleep(0.02)
+                await b.restart_transport()
+
+        await asyncio.gather(sender(), restarter())
+        await b.wait_for(lambda: len(got) >= 300, timeout=20)
+        assert got == list(range(300))  # exactly once, in order
+        await a.close()
+        await b.close()
+
+    asyncio.run(main())
+
+
+def test_cold_restart_resumes_seqs_from_journal(tmp_path):
+    """Kill -9 analogue in-process: a brand-new NetworkNode on the same
+    journal resumes its send seqs and epoch; the peer sees one continuous
+    exactly-once stream across the node's death."""
+    config = SystemConfig(n=4, seed=7)
+    path = tmp_path / "node-1.journal"
+
+    async def main():
+        nodes = await _wire(
+            config, {1: FAST, 2: FAST}, journals={1: path}
+        )()
+        a, b = nodes[1], nodes[2]
+        got = []
+        b.host.register_handler("msg", lambda src, p: got.append(p[1]))
+        for i in range(25):
+            a.dispatch_out(2, ("msg", i))
+        await b.wait_for(lambda: len(got) == 25, timeout=10)
+        port, old_epoch = a.port, a.epoch
+        sent_high = a.peers[2]._next_seq - 1
+        await a.close()
+
+        a2 = NetworkNode(
+            config, 1, tconfig=FAST, trace_level=TRACE_OFF, journal=path
+        )
+        assert a2.epoch == old_epoch + 1
+        await a2.start_server(port)
+        a2.set_peers({1: ("127.0.0.1", port), 2: ("127.0.0.1", b.port)})
+        a2.start_peers()
+        # Send seqs resume past everything the dead incarnation used.
+        assert a2.peers[2]._next_seq == sent_high + 1
+        for i in range(25, 50):
+            a2.dispatch_out(2, ("msg", i))
+        await b.wait_for(lambda: len(got) == 50, timeout=10)
+        assert got == list(range(50))
+        await a2.close()
+        await b.close()
+
+    asyncio.run(main())

@@ -17,6 +17,7 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.core.api import DEFAULT_INSTANCE, run_byzantine_agreement
+from repro.net.journal import Journal
 from repro.net.launch import run_processes
 from repro.net.verdict import NetVerdict
 from repro.sim.tracing import TRACE_OFF
@@ -171,3 +172,139 @@ def test_launch_survives_one_killed_process():
     decided = {pid for _, pid, _, _ in verdict["decisions"]}
     assert decided == {1, 2, 4}
     assert {value for _, _, value, _ in verdict["decisions"]} == {0}
+
+
+# ---------------------------------------------------------------------------
+# Journal-era verdict checks: self-contradiction, hung, counters
+# ---------------------------------------------------------------------------
+
+
+def test_verdict_catches_self_contradiction():
+    """A relaunched process contradicting its own journaled decision is a
+    safety violation even when the cluster happens to agree with it."""
+    v = NetVerdict(n=4, t=1)
+    report = _report(3, {"aba": (1, 2)})
+    report["prior_decisions"] = {"aba": [0, 2]}
+    report["rejoined"] = True
+    v.add_report(report)
+    verdict = v.check(expect_all_decided=False)
+    kinds = [x["kind"] for x in verdict["violations"]]
+    assert kinds == ["self-contradiction"]
+    assert verdict["rejoined"] == [3]
+
+
+def test_verdict_consistent_rejoin_is_clean():
+    v = NetVerdict(n=4, t=1)
+    report = _report(3, {"aba": (1, 2)})
+    report["prior_decisions"] = {"aba": [1, 2]}
+    report["rejoined"] = True
+    v.add_report(report)
+    assert v.check(expect_all_decided=False)["violations"] == []
+
+
+def test_verdict_mark_hung():
+    v = NetVerdict(n=4, t=1)
+    v.add_report(_report(1, {"aba": (1, 1)}))
+    v.mark_hung(4)
+    verdict = v.check(expect_all_decided=False)
+    [violation] = verdict["violations"]
+    assert violation["kind"] == "hung"
+    assert violation["detail"]["pid"] == 4
+
+
+def test_verdict_aggregates_observability_counters():
+    v = NetVerdict(n=4, t=1)
+    for pid in (1, 2):
+        report = _report(pid, {"aba": (1, 1)})
+        report["stats"] = {
+            "frame_errors": {"bad-crc": pid, "bad-value": 1},
+            "auth_rejected": pid,
+            "journal": {"replayed": 10 * pid},
+        }
+        v.add_report(report)
+    verdict = v.check(expect_all_decided=False)
+    assert verdict["frame_errors"] == {"bad-crc": 3, "bad-value": 2}
+    assert verdict["auth_rejected"] == 3
+    assert verdict["journal_replayed"] == 30
+    assert verdict["violations"] == []
+
+
+# ---------------------------------------------------------------------------
+# End to end: kill -9 -> relaunch from journal -> rejoin -> agree
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_launch_restart_lifecycle_matches_no_kill_run(tmp_path):
+    """The full lifecycle gate: SIGKILL an OS-process node mid-run,
+    relaunch it from its journal, and the final all-n decision must be
+    bit-identical to the no-kill run on the same inputs."""
+    inputs = [1, 1, 1, 1]
+    seed = 91
+    baseline = asyncio.run(
+        run_processes(4, inputs=inputs, seed=seed, timeout=90)
+    )
+    assert baseline["violations"] == []
+    base_decisions = {pid: v for _, pid, v, _ in baseline["decisions"]}
+
+    verdict = asyncio.run(
+        run_processes(
+            4, inputs=inputs, seed=seed, timeout=90,
+            restart={3: (1.0, 2.0)}, journal_dir=tmp_path,
+            hung_after=30.0,
+        )
+    )
+    assert verdict["violations"] == []
+    assert verdict["processes_reporting"] == 4
+    decisions = {pid: v for _, pid, v, _ in verdict["decisions"]}
+    assert decisions == base_decisions  # bit-identical to the no-kill run
+    # The relaunched child really did come back through its journal.
+    report = verdict["reports"][3]
+    assert report["rejoined"] or report["stats"]["journal"]["replayed"] > 0
+
+
+@pytest.mark.slow
+def test_launch_tampered_journal_is_caught(tmp_path):
+    """Negative fixture: flip one node's journaled decision between two
+    runs sharing a journal dir.  The relaunched node faithfully
+    re-announces the tampered bit and the verdict must reject the run."""
+    inputs = [1, 1, 1, 1]
+    seed = 92
+    first = asyncio.run(
+        run_processes(
+            4, inputs=inputs, seed=seed, timeout=90, journal_dir=tmp_path
+        )
+    )
+    assert first["violations"] == []
+
+    # Tamper: append a flipped decision (decision records are last-wins).
+    tampered = Journal(tmp_path / "node-3.journal")
+    tampered.record_decision(DEFAULT_INSTANCE, 0, 1)
+    tampered.close()
+
+    second = asyncio.run(
+        run_processes(
+            4, inputs=inputs, seed=seed, timeout=90, journal_dir=tmp_path
+        )
+    )
+    kinds = {x["kind"] for x in second["violations"]}
+    assert "agreement-safety" in kinds
+    assert 3 in second["rejoined"]
+
+
+@pytest.mark.slow
+def test_launch_hung_child_is_killed_and_reported(tmp_path):
+    """A wedged child (no heartbeats, no report) is killed at the
+    heartbeat deadline and recorded as ``hung`` — the run never rides
+    the harness wall-clock cap, and the other three still decide."""
+    verdict = asyncio.run(
+        run_processes(
+            4, inputs=[0, 0, 0, 0], seed=93, timeout=30,
+            hang={2}, hung_after=4.0,
+        )
+    )
+    kinds = [x["kind"] for x in verdict["violations"]]
+    assert kinds == ["hung"]
+    assert verdict["violations"][0]["detail"]["pid"] == 2
+    decided = {pid for _, pid, _, _ in verdict["decisions"]}
+    assert decided == {1, 3, 4}
