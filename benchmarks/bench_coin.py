@@ -41,6 +41,15 @@ logical messages are outside a CI budget — aggregated, the same
 invocation is ~10.5M logical messages on ~850k coalesced events and
 completes in minutes.
 
+Every mode pins ``algebra_backend="pure"`` so the transport trajectory
+stays backend-stable; the ``svec_coalesce_numpy`` mode re-runs the full
+aggregation stack on the vectorized algebra backend
+(``repro.field.backend``) and is asserted bit-identical.  ``n = 16`` is
+the backend PR's headline: the first finite invocation at that size —
+``svec+coalesce+batch_ingest`` under both backends, gated on finishing
+under the event guard with identical outputs (skipped, like the numpy
+mode, when numpy is not importable).
+
 The JSON artifact is committed at the repo root so the perf trajectory is
 diffable across PRs, next to the other ``BENCH_*.json`` files.
 """
@@ -57,10 +66,12 @@ from bench_common import (
     write_bench_json,
 )
 from repro.analysis.tables import render_table
+from repro.field import numpy_available
 from repro.sim.runtime import DEFAULT_MAX_EVENTS
 
 NS = (4, 5, 7)
 N_LARGE = 10
+N_XL = 16
 SEED = 5
 GATE_N = 7
 GATE_EVENTS_REDUCTION = 2.0  # coalesce gate (PR 4)
@@ -77,17 +88,38 @@ GATE_SECONDS = 10.0  # n=7 svec+coalesce wall-clock gate (PR 8)
 #: preceding per-session n=7 run leaves behind (allocator fragmentation
 #: after a ~9M-logical-message run costs the next run ~2×).
 MODES = {
-    "svec_coalesce": {"svec": True, "coalesce": True, "batch_ingest": True},
+    "svec_coalesce": {
+        "svec": True,
+        "coalesce": True,
+        "batch_ingest": True,
+        "algebra_backend": "pure",
+    },
+    "svec_coalesce_numpy": {
+        "svec": True,
+        "coalesce": True,
+        "batch_ingest": True,
+        "algebra_backend": "numpy",
+    },
     "svec_coalesce_unbatched": {
         "svec": True,
         "coalesce": True,
         "batch_ingest": False,
+        "algebra_backend": "pure",
     },
-    "svec": {"svec": True, "batch_ingest": True},
-    "coalesce": {"coalesce": True},
-    "plain": {},
+    "svec": {"svec": True, "batch_ingest": True, "algebra_backend": "pure"},
+    "coalesce": {"coalesce": True, "algebra_backend": "pure"},
+    "plain": {"algebra_backend": "pure"},
 }
-LARGE_MODES = ("svec", "svec_coalesce")
+LARGE_MODES = ("svec", "svec_coalesce", "svec_coalesce_numpy")
+#: n = 16: the aggregated+vectorized frontier, both backends A/B'd.
+XL_MODES = ("svec_coalesce", "svec_coalesce_numpy")
+
+
+def _active_modes() -> dict[str, dict]:
+    """The mode matrix, minus numpy modes when numpy is absent."""
+    if numpy_available():
+        return MODES
+    return {k: v for k, v in MODES.items() if v.get("algebra_backend") != "numpy"}
 
 
 def _measure(n: int, mode: str) -> tuple[dict, dict]:
@@ -110,6 +142,9 @@ def _measure(n: int, mode: str) -> tuple[dict, dict]:
         "dmm_verdicts_batched": result.dmm_verdicts_batched,
         "dmm_verdict_fallbacks": result.dmm_verdict_fallbacks,
         "dmm_verdict_calls": result.dmm_verdict_calls,
+        "algebra_backend": result.algebra_backend,
+        "rows_vectorized": result.rows_vectorized,
+        "backend_fallbacks": result.backend_fallbacks,
     }
     return record, dict(result.outputs)
 
@@ -119,7 +154,7 @@ def _series() -> list[dict]:
     for n in NS:
         row: dict = {"n": n}
         outputs: dict[str, dict] = {}
-        for mode in MODES:
+        for mode in _active_modes():
             row[mode], outputs[mode] = _measure(n, mode)
         # Both transports are output-pure: same coin bits in every mode.
         assert all(out == outputs["plain"] for out in outputs.values()), row
@@ -152,10 +187,36 @@ def _large_row() -> dict:
         "traverse their handlers",
     }
     outputs: dict[str, dict] = {}
-    for mode in LARGE_MODES:
+    modes = [m for m in LARGE_MODES if m in _active_modes()]
+    for mode in modes:
         row[mode], outputs[mode] = _measure(N_LARGE, mode)
         assert row[mode]["events_dispatched"] < DEFAULT_MAX_EVENTS, row
-    assert outputs["svec"] == outputs["svec_coalesce"], row
+    assert all(out == outputs["svec"] for out in outputs.values()), row
+    row["outputs_identical"] = True
+    return row
+
+
+def _xl_row() -> dict | None:
+    """The first finite n = 16 coin: aggregated transport, both backends.
+
+    Returns None without numpy — the A/B (and the wall-clock budget this
+    row exists to demonstrate) needs the vectorized backend present.
+    """
+    if not numpy_available():
+        return None
+    row: dict = {
+        "n": N_XL,
+        "plain": "infeasible: uncoalesced baseline exceeds the 50M-event "
+        "livelock guard",
+    }
+    outputs: dict[str, dict] = {}
+    for mode in XL_MODES:
+        row[mode], outputs[mode] = _measure(N_XL, mode)
+        assert row[mode]["events_dispatched"] < DEFAULT_MAX_EVENTS, row
+    # Bit-identical across backends: the vectorized algebra changes
+    # wall-clock and the rows_vectorized counter, never a coin bit.
+    assert outputs["svec_coalesce"] == outputs["svec_coalesce_numpy"], row
+    assert row["svec_coalesce_numpy"]["rows_vectorized"] > 0, row
     row["outputs_identical"] = True
     return row
 
@@ -163,13 +224,14 @@ def _large_row() -> dict:
 def test_bench_coin(emit):
     series = _series()
     large = _large_row()
+    xl = _xl_row()
     payload = bench_payload(
         {
-            "ns": [*NS, N_LARGE],
+            "ns": [*NS, N_LARGE] + ([N_XL] if xl else []),
             "scheduler": "FifoScheduler",
             "trace_level": "TRACE_OFF",
             "seed": SEED,
-            "modes": {name: dict(kw) for name, kw in MODES.items()},
+            "modes": {name: dict(kw) for name, kw in _active_modes().items()},
             "gates": [
                 f">= {GATE_LOGICAL_REDUCTION}x fewer logical messages at "
                 f"n={GATE_N} with svec on",
@@ -181,9 +243,13 @@ def test_bench_coin(emit):
                 f"{GATE_SECONDS:.0f}s wall-clock",
                 f"n={N_LARGE} aggregated run finishes under the "
                 f"{DEFAULT_MAX_EVENTS // 10**6}M-event guard",
+                "coin outputs bit-identical pure vs numpy at every "
+                "benched n (numpy present)",
+                f"n={N_XL} svec+coalesce+batch_ingest invocation finite "
+                "on both backends (numpy present)",
             ],
         },
-        invocations=[*series, large],
+        invocations=[*series, large] + ([xl] if xl else []),
     )
     path = write_bench_json("coin", payload)
 
@@ -218,6 +284,22 @@ def test_bench_coin(emit):
             "-",
         ]
     )
+    if xl:
+        table_rows.append(
+            [
+                xl["n"],
+                "> 50M events",
+                f"{xl['svec_coalesce']['logical_messages']:,}",
+                "-",
+                f"{xl['svec_coalesce']['events_dispatched']:,}",
+                "-",
+                f"{xl['svec_coalesce']['dmm_verdict_calls']:,}",
+                "-",
+                f"{xl['svec_coalesce']['seconds']:.2f}",
+                f"{xl['svec_coalesce_numpy']['seconds']:.2f}",
+                "-",
+            ]
+        )
     emit(
         render_table(
             "SVSS common coin: svec/coalesce/batch-ingest matrix",
@@ -227,7 +309,9 @@ def test_bench_coin(emit):
             table_rows,
             note=(
                 "full share+reveal, unit-delay FIFO, TRACE_OFF; outputs "
-                f"identical across modes at every n; artifact: {path.name}"
+                "identical across modes (incl. pure vs numpy algebra) at "
+                f"every n; n={N_XL} row shows pure / numpy seconds; "
+                f"artifact: {path.name}"
             ),
         )
     )
@@ -255,6 +339,17 @@ def test_bench_coin(emit):
         assert row["svec_coalesce"]["svec_batch_ingested"] > 0
         assert row["svec_coalesce"]["dmm_verdicts_batched"] > 0
         assert row["svec_coalesce_unbatched"]["svec_batch_ingested"] == 0
+        # The vectorized backend must actually engage where present (the
+        # outputs_identical assertion above already proved it harmless).
+        if "svec_coalesce_numpy" in row:
+            assert row["svec_coalesce_numpy"]["rows_vectorized"] > 0, row
+            assert row["svec_coalesce"]["rows_vectorized"] == 0, row
     # The headline structural claim: the n = 10 coin is routinely benchable.
     assert large["outputs_identical"]
     assert large["svec_coalesce"]["events_dispatched"] < DEFAULT_MAX_EVENTS
+    # The backend PR's headline: a finite n = 16 invocation, bit-identical
+    # across backends (asserted inside _xl_row).
+    if xl:
+        assert xl["outputs_identical"]
+        for mode in XL_MODES:
+            assert xl[mode]["events_dispatched"] < DEFAULT_MAX_EVENTS

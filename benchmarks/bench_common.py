@@ -113,6 +113,7 @@ def fast_coin_flip(
     coalesce: bool = False,
     svec: bool = False,
     batch_ingest: bool | None = None,
+    algebra_backend: str | None = None,
 ):
     """One canonical SVSS common-coin invocation (unit-delay FIFO,
     ``TRACE_OFF``); asserts every process output a bit."""
@@ -123,6 +124,7 @@ def fast_coin_flip(
         coalesce=coalesce,
         svec=svec,
         batch_ingest=batch_ingest,
+        algebra_backend=algebra_backend,
     )
     assert set(result.outputs) == set(stack.config.pids), (
         f"n={n} coalesce={coalesce} svec={svec}: "

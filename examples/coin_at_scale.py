@@ -18,7 +18,14 @@ group-level DMM verdict probe instead of n per-slot calls, and its
 sibling-session transitions run as structure-of-arrays rows — same
 outputs, a fraction of the per-slot handler work.
 
-Run:  python examples/coin_at_scale.py [n]   (default n = 10)
+The algebra underneath all of it runs on the swappable vectorized
+backend (``REPRO_ALGEBRA_BACKEND`` ∈ pure/numpy/auto, or the second
+argument below): with numpy importable, the row-shaped interpolation /
+evaluation batches go through int64 modular kernels — bit-identical
+outputs, counted by ``rows_vectorized`` / ``backend_fallbacks``.
+
+Run:  python examples/coin_at_scale.py [n] [backend]   (default n = 10,
+      backend = auto)
 """
 
 import sys
@@ -32,6 +39,7 @@ from repro.sim.tracing import TRACE_OFF
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    backend = sys.argv[2] if len(sys.argv) > 2 else None
     config = SystemConfig(n=n, seed=7)
     print(f"flipping the SVSS common coin: n={n}, t={config.t}, "
           "svec+coalesce on")
@@ -45,6 +53,7 @@ def main() -> None:
         trace_level=TRACE_OFF,
         svec=True,
         coalesce=True,
+        algebra_backend=backend,
     )
     wall = time.perf_counter() - start
 
@@ -68,6 +77,9 @@ def main() -> None:
     else:
         print(f"batched ingestion  : off (per-slot path; "
               f"{result.dmm_verdict_calls:,} DMM verdict calls)")
+    print(f"algebra backend    : {result.algebra_backend} "
+          f"({result.rows_vectorized:,} rows vectorized, "
+          f"{result.backend_fallbacks:,} pure-path fallbacks)")
     print(f"logical msgs/event : {result.logical_messages / result.events_dispatched:.1f}")
     print(f"throughput         : {result.logical_messages / wall:,.0f} "
           "logical messages/s")

@@ -138,6 +138,7 @@ def build_stack(
     coalesce: bool = False,
     svec: bool = False,
     batch_ingest: bool | None = None,
+    algebra_backend: str | None = None,
 ) -> Stack:
     """Assemble runtime, broadcast and (optionally) VSS for every process.
 
@@ -176,6 +177,15 @@ def build_stack(
     structure-of-arrays lane transition (``VSSManager.ingest_vector``)
     instead of n per-slot ingestion chains — slot-for-slot equivalent,
     A/B-gated in CI.
+
+    ``algebra_backend`` selects the vectorized algebra backend behind the
+    row-shaped polynomial fast paths: ``"pure"``, ``"numpy"``, ``"auto"``
+    (numpy when importable, else pure), or ``None`` to defer to
+    ``REPRO_ALGEBRA_BACKEND`` / auto-detect.  Results are bit-identical
+    either way — the numpy kernels compute exactly or decline to the pure
+    path (see ``docs/ALGEBRA.md``); the resolved name is on
+    ``stack.runtime.algebra_backend`` and the per-run ``rows_vectorized``
+    / ``backend_fallbacks`` counters ride every result dataclass.
     """
     if measure_bytes and trace_level < TRACE_COUNTS:
         raise ConfigurationError(
@@ -191,6 +201,7 @@ def build_stack(
         coalesce=coalesce,
         svec=svec,
         batch_ingest=batch_ingest,
+        algebra_backend=algebra_backend,
     )
     runtime.trace.measure_bytes = measure_bytes
     broadcasts = {}
@@ -366,6 +377,12 @@ class AgreementResult:
     dmm_verdicts_batched: int = 0
     dmm_verdict_fallbacks: int = 0
     dmm_verdict_calls: int = 0
+    #: Resolved algebra backend name and its per-run counters (rows served
+    #: by vectorized kernels / vector-backend declines to the pure path;
+    #: see ``docs/ALGEBRA.md``).
+    algebra_backend: str = "pure"
+    rows_vectorized: int = 0
+    backend_fallbacks: int = 0
 
     @property
     def logical_messages(self) -> int:
@@ -422,6 +439,7 @@ def run_byzantine_agreement(
     coalesce: bool = False,
     svec: bool = False,
     batch_ingest: bool | None = None,
+    algebra_backend: str | None = None,
     monitor: InvariantMonitor | None = None,
 ) -> AgreementResult:
     """Run one asynchronous Byzantine agreement to completion.
@@ -454,6 +472,7 @@ def run_byzantine_agreement(
         coalesce=coalesce,
         svec=svec,
         batch_ingest=batch_ingest,
+        algebra_backend=algebra_backend,
     )
     coins = make_coins(stack, coin, instance=tag)
     input_map = _normalize_inputs(inputs, config)
@@ -521,6 +540,9 @@ def run_byzantine_agreement(
         dmm_verdicts_batched=stack.runtime.dmm_verdicts_batched,
         dmm_verdict_fallbacks=stack.runtime.dmm_verdict_fallbacks,
         dmm_verdict_calls=stack.runtime.dmm_verdict_calls,
+        algebra_backend=stack.runtime.algebra_backend,
+        rows_vectorized=stack.runtime.rows_vectorized,
+        backend_fallbacks=stack.runtime.backend_fallbacks,
     )
 
 
@@ -558,6 +580,9 @@ class BatchAgreementResult:
     dmm_verdicts_batched: int = 0
     dmm_verdict_fallbacks: int = 0
     dmm_verdict_calls: int = 0
+    algebra_backend: str = "pure"
+    rows_vectorized: int = 0
+    backend_fallbacks: int = 0
 
     @property
     def logical_messages(self) -> int:
@@ -601,6 +626,7 @@ def run_byzantine_agreement_batch(
     coalesce_votes: bool = False,
     svec: bool = False,
     batch_ingest: bool | None = None,
+    algebra_backend: str | None = None,
     measure_bytes: bool = False,
     trace_level: int = TRACE_FULL,
     engine: str = ENGINE_FLAT,
@@ -655,6 +681,7 @@ def run_byzantine_agreement_batch(
         coalesce=coalesce_votes,
         svec=svec,
         batch_ingest=batch_ingest,
+        algebra_backend=algebra_backend,
     )
     input_maps = {
         iid: _normalize_inputs(rows[k], config)
@@ -772,6 +799,9 @@ def run_byzantine_agreement_batch(
         dmm_verdicts_batched=stack.runtime.dmm_verdicts_batched,
         dmm_verdict_fallbacks=stack.runtime.dmm_verdict_fallbacks,
         dmm_verdict_calls=stack.runtime.dmm_verdict_calls,
+        algebra_backend=stack.runtime.algebra_backend,
+        rows_vectorized=stack.runtime.rows_vectorized,
+        backend_fallbacks=stack.runtime.backend_fallbacks,
     )
 
 
@@ -945,6 +975,9 @@ class CoinResult:
     dmm_verdicts_batched: int = 0
     dmm_verdict_fallbacks: int = 0
     dmm_verdict_calls: int = 0
+    algebra_backend: str = "pure"
+    rows_vectorized: int = 0
+    backend_fallbacks: int = 0
 
     @property
     def logical_messages(self) -> int:
@@ -966,6 +999,7 @@ def flip_common_coin(
     coalesce: bool = False,
     svec: bool = False,
     batch_ingest: bool | None = None,
+    algebra_backend: str | None = None,
 ) -> tuple[CoinResult, Stack]:
     """Run one full SVSS-based shunning common coin invocation."""
     config.require_optimal_resilience()
@@ -978,6 +1012,7 @@ def flip_common_coin(
         coalesce=coalesce,
         svec=svec,
         batch_ingest=batch_ingest,
+        algebra_backend=algebra_backend,
     )
     coins = make_coins(stack, "svss")
     csid = ("cc", "solo", session)
@@ -1013,6 +1048,9 @@ def flip_common_coin(
         dmm_verdicts_batched=stack.runtime.dmm_verdicts_batched,
         dmm_verdict_fallbacks=stack.runtime.dmm_verdict_fallbacks,
         dmm_verdict_calls=stack.runtime.dmm_verdict_calls,
+        algebra_backend=stack.runtime.algebra_backend,
+        rows_vectorized=stack.runtime.rows_vectorized,
+        backend_fallbacks=stack.runtime.backend_fallbacks,
     )
     return result, stack
 

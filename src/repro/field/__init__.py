@@ -1,21 +1,46 @@
-"""Finite-field substrate: ``GF(p)`` arithmetic and prime utilities."""
+"""Finite-field substrate: ``GF(p)`` arithmetic, prime utilities, and the
+swappable vectorized algebra backend (see ``docs/ALGEBRA.md``)."""
 
+from repro.field.backend import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    active_backend,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+    set_backend,
+)
 from repro.field.gf import DEFAULT_FIELD, Field, dot
 from repro.field.primes import (
     DEFAULT_PRIME,
+    INT64_SAFE_MAX_BITS,
+    INT64_SAFE_PRIMES,
     SMALL_TEST_PRIME,
+    is_int64_safe,
     is_prime,
     next_prime,
+    require_int64_safe,
     smallest_field_prime,
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
     "DEFAULT_FIELD",
     "DEFAULT_PRIME",
+    "INT64_SAFE_MAX_BITS",
+    "INT64_SAFE_PRIMES",
     "SMALL_TEST_PRIME",
     "Field",
+    "active_backend",
+    "available_backends",
     "dot",
+    "is_int64_safe",
     "is_prime",
     "next_prime",
+    "numpy_available",
+    "require_int64_safe",
+    "resolve_backend",
+    "set_backend",
     "smallest_field_prime",
 ]

@@ -35,6 +35,18 @@ all wrap the same prime).  Node sets in this stack are always subsets of
 All inversions go through :func:`batch_inverse` (Montgomery's trick): a
 batch of ``k`` elements costs ``3(k-1)`` multiplications plus a *single*
 modular exponentiation, instead of ``k`` exponentiations.
+
+Backend dispatch
+----------------
+The row-shaped entry points — :func:`evaluate_rows`,
+:meth:`LagrangeBasis.interpolate_rows` (and thus
+:func:`interpolate_values_rows`) and :func:`batch_inverse` — first offer
+the call to the process-global algebra backend
+(:mod:`repro.field.backend`).  The ``numpy`` backend answers with exact
+int64 modular row arithmetic for well-shaped canonical batches and
+declines (``None``) otherwise; the code below is simultaneously the
+``pure`` backend and the universal fallback, so results are bit-identical
+whichever backend is selected.  See ``docs/ALGEBRA.md`` for the contract.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from collections.abc import Iterable, Sequence
 from functools import lru_cache
 
 from repro.errors import FieldError, PolynomialError
+from repro.field import backend as _backend
 from repro.field.gf import Field
 
 __all__ = [
@@ -64,8 +77,16 @@ def batch_inverse(field: Field, values: Sequence[int]) -> list[int]:
     peel the individual inverses off backwards.  Raises
     :class:`~repro.errors.FieldError` on any zero element, matching
     :meth:`Field.inv`.
+
+    Large batches may be served by the vectorized algebra backend (a
+    square-and-multiply Fermat chain over the whole array); a backend
+    decline — including any batch containing a zero, so the error path
+    below stays canonical — falls through to the Montgomery loop.
     """
     prime = field.prime
+    vectorized = _backend.active_backend().batch_inverse(prime, values)
+    if vectorized is not None:
+        return vectorized
     canonical = [v % prime for v in values]
     if not canonical:
         return []
@@ -152,8 +173,16 @@ def evaluate_rows(
     deferred-reduction dot product per ``(row, point)`` cell.  Result
     ``out[i][j] == coeff_rows[i]`` evaluated at ``xs[j]``, bit-identical
     to ``evaluate_many`` row by row.
+
+    Rectangular canonical batches may be served by the vectorized algebra
+    backend (one Horner pass over the whole matrix); a decline falls
+    through to the power-table loop below, which is also the ``pure``
+    backend's implementation.
     """
     prime = field.prime
+    vectorized = _backend.active_backend().evaluate_rows(prime, coeff_rows, xs)
+    if vectorized is not None:
+        return vectorized
     count = 0
     for row in coeff_rows:
         if len(row) > count:
@@ -282,7 +311,20 @@ class LagrangeBasis:
         per-row cost is the plain matrix–vector product of
         :meth:`interpolate_coeffs` with no per-row cache lookups or
         validation.
+
+        Large batches may be served by the vectorized algebra backend as
+        one value-matrix × basis-matrix product (reduced per basis row);
+        a decline — including any row of the wrong length, so the
+        :class:`~repro.errors.PolynomialError` below stays canonical —
+        falls through to the per-row loop.
         """
+        if not ys_rows:
+            return []
+        vectorized = _backend.active_backend().interpolate_rows(
+            self.field.prime, self.basis_rows, ys_rows
+        )
+        if vectorized is not None:
+            return vectorized
         return [self.interpolate_coeffs(ys) for ys in ys_rows]
 
     def evaluate(self, ys: Sequence[int], x: int) -> int:

@@ -198,6 +198,12 @@ class Scenario:
     #: runtime default (``REPRO_BATCH_INGEST``, on unless set to ``0``);
     #: sweeps pin ``True``/``False`` to A/B the ingestion paths.
     batch_ingest: bool | None = None
+    #: Vectorized algebra backend axis (``"pure"`` | ``"numpy"`` |
+    #: ``"auto"``); ``None`` inherits the process default
+    #: (``REPRO_ALGEBRA_BACKEND`` / auto-detect).  Results are
+    #: backend-independent by contract; sweeps pin it to A/B wall-clock
+    #: and the ``rows_vectorized`` counters.
+    algebra_backend: str | None = None
 
     def validate(self) -> None:
         if self.batch < 1:
@@ -222,6 +228,11 @@ class Scenario:
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}"
+            )
+        if self.algebra_backend not in (None, "pure", "numpy", "auto"):
+            raise ConfigurationError(
+                f"unknown algebra backend {self.algebra_backend!r}; "
+                f"expected one of (None, 'pure', 'numpy', 'auto')"
             )
 
 
@@ -265,6 +276,12 @@ class RunRecord:
     dmm_verdicts_batched: int = 0
     dmm_verdict_fallbacks: int = 0
     dmm_verdict_calls: int = 0
+    #: Resolved algebra backend and its per-run counters (see
+    #: ``docs/ALGEBRA.md``): rows served by vectorized kernels and
+    #: vector-backend declines to the pure path.
+    algebra_backend: str = "pure"
+    rows_vectorized: int = 0
+    backend_fallbacks: int = 0
     #: What actually corrupted whom: the adversary's picklable ``spec``
     #: tuple, read *after* the run (adaptive adversaries only fix their
     #: victims at strike time).  None when the factory returned no
@@ -388,6 +405,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
                 coalesce_votes=scenario.coalesce,
                 svec=scenario.svec,
                 batch_ingest=scenario.batch_ingest,
+                algebra_backend=scenario.algebra_backend,
                 trace_level=scenario.trace_level,
                 engine=scenario.engine,
                 monitor=monitor,
@@ -419,6 +437,9 @@ def run_scenario(scenario: Scenario) -> RunRecord:
                 dmm_verdicts_batched=batch.dmm_verdicts_batched,
                 dmm_verdict_fallbacks=batch.dmm_verdict_fallbacks,
                 dmm_verdict_calls=batch.dmm_verdict_calls,
+                algebra_backend=batch.algebra_backend,
+                rows_vectorized=batch.rows_vectorized,
+                backend_fallbacks=batch.backend_fallbacks,
                 **_monitor_fields(adversary, monitor),
             )
         result = run_byzantine_agreement(
@@ -434,6 +455,7 @@ def run_scenario(scenario: Scenario) -> RunRecord:
             coalesce=scenario.coalesce,
             svec=scenario.svec,
             batch_ingest=scenario.batch_ingest,
+            algebra_backend=scenario.algebra_backend,
             monitor=monitor,
         )
         wall = time.perf_counter() - start
@@ -460,6 +482,9 @@ def run_scenario(scenario: Scenario) -> RunRecord:
             dmm_verdicts_batched=result.dmm_verdicts_batched,
             dmm_verdict_fallbacks=result.dmm_verdict_fallbacks,
             dmm_verdict_calls=result.dmm_verdict_calls,
+            algebra_backend=result.algebra_backend,
+            rows_vectorized=result.rows_vectorized,
+            backend_fallbacks=result.backend_fallbacks,
             **_monitor_fields(adversary, monitor),
         )
     except InvariantViolation as violation:

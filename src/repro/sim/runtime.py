@@ -78,6 +78,7 @@ from contextlib import contextmanager
 
 from repro.config import SystemConfig
 from repro.errors import DeadlockError, SimulationError
+from repro.field import backend as _algebra
 from repro.sim.events import BucketQueue, EventQueue
 from repro.sim.process import ENVELOPE_TAG, RECOVER_TAG, ProcessHost
 from repro.sim.scheduler import Scheduler, default_scheduler
@@ -107,6 +108,7 @@ class Runtime:
         coalesce: bool = False,
         svec: bool = False,
         batch_ingest: bool | None = None,
+        algebra_backend: str | None = None,
     ):
         if engine not in ENGINES:
             raise SimulationError(
@@ -185,6 +187,14 @@ class Runtime:
         if batch_ingest is None:
             batch_ingest = os.environ.get("REPRO_BATCH_INGEST", "1") != "0"
         self.batch_ingest = bool(batch_ingest)
+        #: Vectorized algebra backend (see :mod:`repro.field.backend` and
+        #: ``docs/ALGEBRA.md``): ``None`` defers to ``REPRO_ALGEBRA_BACKEND``
+        #: / auto-detect.  Selection is process-global (the fast paths carry
+        #: no runtime handle), so construction pins it and snapshots the
+        #: shared counters; :attr:`rows_vectorized` /
+        #: :attr:`backend_fallbacks` report per-run deltas.
+        self.algebra_backend = _algebra.set_backend(algebra_backend).name
+        self._algebra_baseline = _algebra.counters.snapshot()
         #: Vectors consumed by the batched path / slots resolved by a
         #: group-level verdict / slots that fell back to per-slot verdicts.
         self.svec_batch_ingested = 0
@@ -217,6 +227,17 @@ class Runtime:
             return self.hosts[pid]
         except KeyError:
             raise SimulationError(f"no process with id {pid}") from None
+
+    # -- algebra backend telemetry -------------------------------------------
+    @property
+    def rows_vectorized(self) -> int:
+        """Rows served by the vectorized algebra backend since construction."""
+        return _algebra.counters.rows_vectorized - self._algebra_baseline[0]
+
+    @property
+    def backend_fallbacks(self) -> int:
+        """Vector-backend declines (pure-path fallbacks) since construction."""
+        return _algebra.counters.backend_fallbacks - self._algebra_baseline[1]
 
     # -- notification-driven waits -------------------------------------------
     def notify_state_change(self) -> None:
